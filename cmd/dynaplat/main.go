@@ -1,0 +1,247 @@
+// Command dynaplat drives the model toolchain:
+//
+//	dynaplat check <model.dsl>                   validate a model, print findings
+//	dynaplat matrix <model.dsl>                  print the derived access matrix
+//	dynaplat simulate <model.dsl> [-virtual 5s]  deploy and simulate, print stats
+//	dynaplat explore <model.dsl> [-method M]     run DSE (greedy|anneal|exhaustive)
+//	dynaplat schedule <model.dsl>                print synthesized TT tables
+//	dynaplat pareto <model.dsl>                  print the multi-objective front
+//	dynaplat generate <model.dsl> [-out DIR]     emit app stubs + middleware config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dynaplat/internal/codegen"
+	"dynaplat/internal/dse"
+	"dynaplat/internal/model"
+	"dynaplat/internal/platform"
+	"dynaplat/internal/sched"
+	"dynaplat/internal/sim"
+	"dynaplat/internal/soa"
+	"dynaplat/internal/tsn"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	sys := load(path)
+	switch cmd {
+	case "check":
+		check(sys)
+	case "matrix":
+		fmt.Print(model.ExtractAccessMatrix(sys))
+	case "simulate":
+		simulate(sys, os.Args[3:])
+	case "explore":
+		explore(sys, os.Args[3:])
+	case "schedule":
+		schedule(sys)
+	case "pareto":
+		pareto(sys)
+	case "generate":
+		generate(sys, os.Args[3:])
+	default:
+		usage()
+	}
+}
+
+// generate writes application stubs and the middleware configuration
+// derived from the model (§2.2's "generate code stubs, configurations
+// for communication stacks").
+func generate(sys *model.System, args []string) {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	outDir := fs.String("out", "gen-out", "output directory")
+	fs.Parse(args)
+	files, err := codegen.GenerateAll(sys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynaplat:", err)
+		os.Exit(1)
+	}
+	files["gen/middleware.conf"] = codegen.MiddlewareConfig(sys)
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		full := filepath.Join(*outDir, p)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "dynaplat:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(full, []byte(files[p]), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dynaplat:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", full)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: dynaplat {check|matrix|simulate|explore|schedule|pareto|generate} <model.dsl> [flags]")
+	os.Exit(2)
+}
+
+// schedule synthesizes and prints the time-triggered table of every RTOS
+// ECU with placed deterministic apps.
+func schedule(sys *model.System) {
+	rep := model.Validate(sys)
+	if !rep.OK() {
+		fmt.Fprintf(os.Stderr, "dynaplat: model invalid: %v\n", rep.Errors()[0])
+		os.Exit(1)
+	}
+	for _, ecu := range sys.ECUs {
+		var tasks []sched.Task
+		for _, a := range sys.AppsOn(ecu.Name) {
+			if a.Kind != model.Deterministic {
+				continue
+			}
+			tasks = append(tasks, sched.Task{
+				Name: a.Name, Period: a.Period,
+				WCET: ecu.ScaledWCET(a.WCET), Deadline: a.Deadline, Jitter: a.Jitter,
+			})
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		tbl, err := sched.Synthesize(tasks, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynaplat: %s: %v\n", ecu.Name, err)
+			os.Exit(1)
+		}
+		if err := tbl.Verify(tasks); err != nil {
+			fmt.Fprintf(os.Stderr, "dynaplat: %s: verification failed: %v\n", ecu.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %s", ecu.Name, tbl)
+	}
+}
+
+// pareto prints the multi-objective trade-off front.
+func pareto(sys *model.System) {
+	front := dse.ParetoFront(sys, 0, 1)
+	if len(front) == 0 {
+		fmt.Fprintln(os.Stderr, "dynaplat: no feasible placement")
+		os.Exit(1)
+	}
+	fmt.Printf("%-4s %-9s %-9s %-10s\n", "#", "ecu-cost", "max-util", "cross-mbps")
+	for i, p := range front {
+		fmt.Printf("%-4d %-9d %-9.2f %-10.2f\n",
+			i+1, p.Cost.ECUCost, p.Cost.MaxUtil, p.Cost.CrossMbps)
+	}
+}
+
+func load(path string) *model.System {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynaplat:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	sys, err := model.Parse(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynaplat:", err)
+		os.Exit(2)
+	}
+	return sys
+}
+
+func check(sys *model.System) {
+	rep := model.Validate(sys)
+	for _, f := range rep.Findings {
+		fmt.Println(f)
+	}
+	if !rep.OK() {
+		fmt.Fprintf(os.Stderr, "dynaplat: model %s has errors\n", sys.Name)
+		os.Exit(1)
+	}
+	fmt.Printf("model %s: %d ECUs, %d networks, %d apps, %d interfaces — OK\n",
+		sys.Name, len(sys.ECUs), len(sys.Networks), len(sys.Apps), len(sys.Interfaces))
+}
+
+func simulate(sys *model.System, args []string) {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	virtual := fs.String("virtual", "5s", "virtual time to simulate (e.g. 500ms, 5s)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	fs.Parse(args)
+	d, err := model.ParseDuration(*virtual)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynaplat:", err)
+		os.Exit(2)
+	}
+	k := sim.NewKernel(*seed)
+	net := tsn.New(k, tsn.DefaultConfig("sim-net"))
+	mw := soa.New(k, nil)
+	mw.AddNetwork(net, 1400)
+	p := platform.New(k, mw)
+	if err := platform.Deploy(p, sys, platform.ModeIsolated, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "dynaplat:", err)
+		os.Exit(1)
+	}
+	if err := p.StartAll(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynaplat:", err)
+		os.Exit(1)
+	}
+	k.RunFor(d)
+	fmt.Printf("simulated %v of %s (%d events)\n", d, sys.Name, k.EventCount)
+	for _, ecu := range p.Nodes() {
+		node := p.Node(ecu)
+		fmt.Printf("%s (util %.2f):\n", ecu, node.Utilization())
+		for _, app := range node.Apps() {
+			inst := node.App(app)
+			if inst.Spec.Kind == model.Deterministic {
+				fmt.Printf("  %-16s acts=%-6d misses=%-4d resp p100=%v\n",
+					app, inst.Activations, inst.Misses,
+					inst.Response.PercentileDuration(100))
+			} else {
+				fmt.Printf("  %-16s jobs=%d\n", app, inst.JobsDone)
+			}
+		}
+	}
+}
+
+func explore(sys *model.System, args []string) {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	method := fs.String("method", "anneal", "greedy|anneal|exhaustive")
+	fs.Parse(args)
+	w := dse.DefaultWeights()
+	var res dse.Result
+	var err error
+	switch *method {
+	case "greedy":
+		res = dse.Greedy(sys, w)
+	case "anneal":
+		res = dse.Anneal(sys, w, dse.DefaultAnnealConfig())
+	case "exhaustive":
+		res, err = dse.Exhaustive(sys, w, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynaplat:", err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "dynaplat: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	if !res.Feasible {
+		fmt.Fprintln(os.Stderr, "dynaplat: no feasible placement found")
+		os.Exit(1)
+	}
+	fmt.Printf("method=%s evaluations=%d cost=%.2f ecus=%d maxutil=%.2f cross=%.2fMbps\n",
+		*method, res.Evaluated, res.Cost.Total, res.Cost.UsedECUs,
+		res.Cost.MaxUtil, res.Cost.CrossMbps)
+	apps := make([]string, 0, len(res.Placement))
+	for a := range res.Placement {
+		apps = append(apps, a)
+	}
+	sort.Strings(apps)
+	for _, a := range apps {
+		fmt.Printf("  %-20s -> %s\n", a, res.Placement[a])
+	}
+}

@@ -1,0 +1,61 @@
+// Command exprun regenerates the experiment tables of EXPERIMENTS.md.
+//
+//	exprun            # run every experiment
+//	exprun E4 E7      # run a subset
+//	exprun -list      # list experiment IDs
+//	exprun -json      # machine-readable output (one JSON object per line)
+//
+// Exit status is non-zero when any experiment's paper-derived
+// expectation is violated.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dynaplat/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	asJSON := flag.Bool("json", false, "emit JSON lines instead of tables")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	violations := 0
+	enc := json.NewEncoder(os.Stdout)
+	for _, id := range ids {
+		t, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exprun:", err)
+			os.Exit(2)
+		}
+		if *asJSON {
+			if err := enc.Encode(t); err != nil {
+				fmt.Fprintln(os.Stderr, "exprun:", err)
+				os.Exit(2)
+			}
+		} else {
+			t.Render(os.Stdout)
+		}
+		if !t.Holds {
+			violations++
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "exprun: %d expectation(s) violated\n", violations)
+		os.Exit(1)
+	}
+}

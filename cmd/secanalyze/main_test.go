@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeGraph(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseGraphValid(t *testing.T) {
+	p := writeGraph(t, `
+# comment
+node a entry
+node b
+edge a b 0.5
+`)
+	g, err := parseGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Exploitability()
+	if r.Of("b") != 0.5 {
+		t.Errorf("P(b) = %v", r.Of("b"))
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	cases := []struct{ content, wantSub string }{
+		{"node", "node needs a name"},
+		{"edge a b", "edge wants"},
+		{"node a\nedge a b 0.5", "unknown node"},
+		{"node a\nnode b\nedge a b nine", "bad probability"},
+		{"frobnicate", "unknown keyword"},
+	}
+	for _, c := range cases {
+		p := writeGraph(t, c.content)
+		_, err := parseGraph(p)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("content %q: err = %v, want %q", c.content, err, c.wantSub)
+		}
+	}
+	if _, err := parseGraph(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,234 @@
+// Package dynaplat is the public facade over the dynamic-platform
+// reproduction of Mundhenk et al., "Dynamic Platforms for Uncertainty
+// Management in Future Automotive E/E Architectures" (DAC 2017).
+//
+// A Simulation wires together everything a scenario needs: the
+// deterministic virtual-time kernel, the simulated in-vehicle networks
+// built from the system model, the SOA middleware, and a platform node
+// per ECU. Build one from DSL text (see internal/model for the syntax):
+//
+//	sim, err := dynaplat.FromDSL(dslText, dynaplat.Options{Seed: 1})
+//	...
+//	sim.StartAll()
+//	sim.Run(5 * dynaplat.Second)
+//
+// The subsystem packages under internal/ carry the full functionality;
+// this package re-exports the types needed to drive end-to-end scenarios.
+package dynaplat
+
+import (
+	"fmt"
+
+	"dynaplat/internal/can"
+	"dynaplat/internal/flexray"
+	"dynaplat/internal/model"
+	"dynaplat/internal/network"
+	"dynaplat/internal/platform"
+	"dynaplat/internal/sim"
+	"dynaplat/internal/soa"
+	"dynaplat/internal/tsn"
+)
+
+// Re-exported core types. The subsystem packages remain the source of
+// truth; these aliases let applications build scenarios without
+// spelling out internal import paths.
+type (
+	// Kernel is the deterministic discrete-event executive.
+	Kernel = sim.Kernel
+	// Time and Duration are virtual-time instants and spans.
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+	// System is the parsed system model.
+	System = model.System
+	// Platform spans the per-ECU runtimes.
+	Platform = platform.Platform
+	// Node is the dynamic-platform runtime on one ECU.
+	Node = platform.Node
+	// AppInstance is one installed application.
+	AppInstance = platform.AppInstance
+	// Behavior configures what an application does when activated.
+	Behavior = platform.Behavior
+	// Middleware is the service-oriented communication layer.
+	Middleware = soa.Middleware
+	// Endpoint is an application's port into the middleware.
+	Endpoint = soa.Endpoint
+	// Event is a delivered publication, stream frame or RPC response.
+	Event = soa.Event
+	// OfferOpts configures an offered service interface.
+	OfferOpts = soa.OfferOpts
+	// Mode selects the CPU isolation strategy of a node.
+	Mode = platform.Mode
+)
+
+// Virtual-time duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// CPU isolation modes (see platform.Mode).
+const (
+	ModeIsolated = platform.ModeIsolated
+	ModeShared   = platform.ModeShared
+)
+
+// Application kinds and ASIL levels, re-exported from the model.
+const (
+	Deterministic    = model.Deterministic
+	NonDeterministic = model.NonDeterministic
+	QM               = model.QM
+	ASILA            = model.ASILA
+	ASILB            = model.ASILB
+	ASILC            = model.ASILC
+	ASILD            = model.ASILD
+)
+
+// ParseModel parses DSL text into a system model.
+func ParseModel(dsl string) (*System, error) { return model.ParseString(dsl) }
+
+// ValidateModel runs the verification engine and returns the findings
+// rendered as strings (empty means the model is clean of errors; warnings
+// are included).
+func ValidateModel(sys *System) (findings []string, ok bool) {
+	rep := model.Validate(sys)
+	for _, f := range rep.Findings {
+		findings = append(findings, f.String())
+	}
+	return findings, rep.OK()
+}
+
+// Options configures FromDSL.
+type Options struct {
+	// Seed feeds the deterministic RNG (default 1).
+	Seed uint64
+	// Mode selects the CPU model of every node (default ModeIsolated).
+	Mode Mode
+	// Granularity is the schedule-table quantum (default 250µs).
+	Granularity Duration
+	// Authorizer guards service bindings (default allow-all).
+	Authorizer soa.Authorizer
+}
+
+// Simulation is a fully wired scenario.
+type Simulation struct {
+	Kernel     *Kernel
+	Model      *System
+	Platform   *Platform
+	Middleware *Middleware
+	// Networks holds the simulated buses by model network name.
+	Networks map[string]network.Network
+}
+
+// FromDSL parses, validates and instantiates a complete simulation:
+// one simulated network per model network (CAN, FlexRay or Ethernet/TSN),
+// a shared middleware, and a platform node per ECU with every placed
+// application installed.
+func FromDSL(dsl string, opts Options) (*Simulation, error) {
+	sys, err := model.ParseString(dsl)
+	if err != nil {
+		return nil, err
+	}
+	return FromModel(sys, opts)
+}
+
+// FromModel instantiates a simulation from an already-built model.
+func FromModel(sys *System, opts Options) (*Simulation, error) {
+	if rep := model.Validate(sys); !rep.OK() {
+		return nil, fmt.Errorf("dynaplat: model invalid: %v", rep.Errors()[0])
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	k := sim.NewKernel(opts.Seed)
+	mw := soa.New(k, opts.Authorizer)
+	s := &Simulation{
+		Kernel:     k,
+		Model:      sys,
+		Middleware: mw,
+		Networks:   map[string]network.Network{},
+	}
+	for _, n := range sys.Networks {
+		var net network.Network
+		var mtu int
+		switch n.Kind {
+		case model.NetCAN:
+			net = can.New(k, can.Config{Name: n.Name, BitsPerSecond: n.BitsPerSecond,
+				WorstCaseStuffing: true})
+			mtu = can.MaxPayload
+		case model.NetFlexRay:
+			cfg := flexray.DefaultConfig(n.Name)
+			cfg.BitsPerSecond = n.BitsPerSecond
+			fr := flexray.New(k, cfg)
+			// Give every attached ECU one static slot, in order.
+			for i, ecu := range n.Attached {
+				if i < cfg.StaticSlots {
+					fr.AssignSlot(i, ecu)
+				}
+			}
+			net = fr
+			mtu = cfg.StaticPayload
+		default:
+			net = tsn.New(k, tsn.DefaultConfig(n.Name))
+			mtu = 1400
+		}
+		mw.AddNetwork(net, mtu)
+		s.Networks[n.Name] = net
+	}
+	p := platform.New(k, mw)
+	if err := platform.Deploy(p, sys, opts.Mode, opts.Granularity); err != nil {
+		return nil, err
+	}
+	s.Platform = p
+
+	// Wire declared interfaces and bindings through the middleware:
+	// owners offer, clients subscribe (Event/Stream) — Message handlers
+	// are application logic and must be offered by the app itself.
+	for _, ifc := range sys.Interfaces {
+		owner := ifc.Owner
+		ecu, placed := sys.Placement[owner]
+		if !placed {
+			continue
+		}
+		class := network.ClassPriority
+		if a := sys.App(owner); a != nil && a.Kind == model.Deterministic {
+			class = network.ClassControl
+		}
+		if ifc.Paradigm == model.Stream {
+			class = network.ClassBulk
+		}
+		if ifc.Paradigm != model.Message {
+			mw.Endpoint(owner, ecu).Offer(ifc.Name, soa.OfferOpts{
+				Class: class, Network: ifc.Network, Version: ifc.Version,
+			})
+		}
+	}
+	return s, nil
+}
+
+// StartAll starts every installed application.
+func (s *Simulation) StartAll() error { return s.Platform.StartAll() }
+
+// Run advances virtual time by d.
+func (s *Simulation) Run(d Duration) { s.Kernel.RunFor(d) }
+
+// Node returns the platform runtime on the named ECU, or nil.
+func (s *Simulation) Node(ecu string) *Node { return s.Platform.Node(ecu) }
+
+// App locates an installed application across all nodes, or nil.
+func (s *Simulation) App(name string) *AppInstance {
+	inst, _ := s.Platform.FindApp(name)
+	return inst
+}
+
+// Endpoint returns (creating if needed) the middleware endpoint of an
+// application placed in the model.
+func (s *Simulation) Endpoint(app string) (*Endpoint, error) {
+	ecu, ok := s.Model.Placement[app]
+	if !ok {
+		return nil, fmt.Errorf("dynaplat: app %s is not placed", app)
+	}
+	return s.Middleware.Endpoint(app, ecu), nil
+}

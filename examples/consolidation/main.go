@@ -1,0 +1,99 @@
+// Consolidation walks the paper's Figure 1 → Figure 2 migration end to
+// end: a synthetic function fleet is packed onto a minimal set of
+// computing platforms by design-space exploration, the Pareto trade-off
+// curve is printed, the chosen deployment is simulated to prove every
+// deadline holds, and finally a new function is admitted online by the
+// Section 5.3-style admission controller. Run with:
+//
+//	go run ./examples/consolidation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynaplat"
+	"dynaplat/internal/admission"
+	"dynaplat/internal/dse"
+	"dynaplat/internal/model"
+	"dynaplat/internal/sim"
+	"dynaplat/internal/workload"
+)
+
+func main() {
+	// A fleet of 12 control functions, 2 ADAS functions and 2
+	// infotainment apps over 6 candidate computing platforms.
+	rng := sim.NewRNG(2024)
+	sys := workload.Fleet(rng, 6, 12, 2, 2, 1.5)
+
+	// --- Design-space exploration (§2.3).
+	w := dse.DefaultWeights()
+	res := dse.Anneal(sys, w, dse.DefaultAnnealConfig())
+	if !res.Feasible {
+		log.Fatal("no feasible consolidated deployment")
+	}
+	fmt.Printf("annealing: %d evaluations → %d ECUs, cost %d, peak util %.2f\n",
+		res.Evaluated, res.Cost.UsedECUs, res.Cost.ECUCost, res.Cost.MaxUtil)
+
+	fmt.Println("\nPareto front (cost vs headroom vs traffic):")
+	for i, p := range dynaplat.ParetoFront(sys, 30_000, 7) {
+		fmt.Printf("  #%d  ecu-cost=%-4d max-util=%.2f cross=%.2f Mbps\n",
+			i+1, p.Cost.ECUCost, p.Cost.MaxUtil, p.Cost.CrossMbps)
+	}
+
+	// --- Deploy the annealed placement and prove it in simulation.
+	for app, ecu := range res.Placement {
+		sys.Placement[app] = ecu
+	}
+	s, err := dynaplat.FromModel(sys, dynaplat.Options{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.StartAll(); err != nil {
+		log.Fatal(err)
+	}
+	s.Run(2 * dynaplat.Second)
+	var acts, misses int64
+	for _, ecu := range s.Platform.Nodes() {
+		node := s.Node(ecu)
+		for _, app := range node.Apps() {
+			inst := node.App(app)
+			acts += inst.Activations
+			misses += inst.Misses
+		}
+	}
+	fmt.Printf("\nsimulated 2s: %d deterministic activations, %d misses\n", acts, misses)
+
+	// --- Online admission of an aftermarket function (§5.3).
+	ctrl := admission.NewController(sys)
+	req := admission.Request{
+		App: model.App{Name: "parkassist", Kind: model.Deterministic,
+			ASIL: model.ASILB, Period: 50 * dynaplat.Millisecond,
+			WCET: 5 * dynaplat.Millisecond, Deadline: 50 * dynaplat.Millisecond,
+			MemoryKB: 512},
+		ECU: res.Placement["ctl00"], // co-locate with an existing function
+		Interfaces: []model.Interface{{
+			Name: "parkassist.status", Owner: "parkassist",
+			Paradigm: model.Event, PayloadBytes: 16,
+			Period: 50 * dynaplat.Millisecond, Network: "backbone", Version: 1,
+		}},
+	}
+	d, err := ctrl.Admit(req)
+	if err != nil {
+		log.Fatalf("admission rejected: %v", err)
+	}
+	fmt.Printf("\nadmitted parkassist onto %s: CPU util now %.2f, backbone load %.3f\n",
+		req.ECU, d.CPUUtilAfter, d.BusLoadAfter["backbone"])
+
+	// An absurd request is safely rejected with reasons.
+	bad := req
+	bad.App.Name = "hog"
+	bad.App.WCET = 4 * dynaplat.Second // ≥ period even on the fastest ECU
+	bad.App.Period = 100 * dynaplat.Millisecond
+	bad.App.Deadline = 100 * dynaplat.Millisecond
+	dec := ctrl.Check(bad)
+	if dec.Admitted {
+		log.Fatal("hog admitted — admission control broken")
+	}
+	fmt.Printf("rejected hog: %s\n", dec.Reasons[0])
+}

@@ -1,0 +1,116 @@
+package dynaplat
+
+import (
+	"dynaplat/internal/admission"
+	"dynaplat/internal/clocksync"
+	"dynaplat/internal/dse"
+	"dynaplat/internal/gateway"
+	"dynaplat/internal/platform"
+	"dynaplat/internal/safety/monitor"
+	"dynaplat/internal/safety/update"
+	"dynaplat/internal/sim"
+	"dynaplat/internal/soa"
+)
+
+// Facade over the extension subsystems: network gateways (Fig. 1
+// migration), clock synchronization (§3.2/§5.3), operating-mode
+// degradation (§3.3), alive supervision (§3.4), E2E-protected
+// communication (§3), timed service discovery (§2.1/§4.2), fleet update
+// campaigns (§3.4) and multi-objective exploration (§2.3).
+
+type (
+	// Gateway bridges two heterogeneous in-vehicle networks.
+	Gateway = gateway.Gateway
+	// GatewayRoute is one gateway forwarding rule.
+	GatewayRoute = gateway.Route
+	// ClockDomain synchronizes ECU clocks over a network (gPTP-style).
+	ClockDomain = clocksync.Domain
+	// Clock is one ECU's drifting local clock.
+	Clock = clocksync.Clock
+	// ModeManager supervises degradation modes (normal/degraded/limp-home).
+	ModeManager = platform.ModeManager
+	// ModePolicy defines one operating mode's minimum ASIL.
+	ModePolicy = platform.ModePolicy
+	// AliveSupervision is the watchdog for non-deterministic apps.
+	AliveSupervision = monitor.AliveSupervision
+	// E2ESender and E2EReceiver protect payloads end to end.
+	E2ESender = soa.E2ESender
+	// E2EReceiver validates protected payloads.
+	E2EReceiver = soa.E2EReceiver
+	// QoS carries per-subscription history/deadline qualities of service.
+	QoS = soa.QoS
+	// DiscoveryResult reports a timed FindService outcome.
+	DiscoveryResult = soa.DiscoveryResult
+	// CampaignConfig tunes fleet-wide update rollouts.
+	CampaignConfig = update.CampaignConfig
+	// CampaignReport summarizes a rollout.
+	CampaignReport = update.CampaignReport
+	// ParetoPoint is one non-dominated DSE placement.
+	ParetoPoint = dse.ParetoPoint
+	// AdmissionController runs online admission tests (§5.3).
+	AdmissionController = admission.Controller
+	// AdmissionRequest is one app+interfaces admission request.
+	AdmissionRequest = admission.Request
+	// AdmissionDecision is the outcome of an admission test.
+	AdmissionDecision = admission.Decision
+)
+
+// NewAdmissionController creates an online admission controller over the
+// simulation's system model.
+func NewAdmissionController(s *Simulation) *AdmissionController {
+	return admission.NewController(s.Model)
+}
+
+// NewGateway creates a store-and-forward gateway; attach ports with
+// Gateway.AttachPort and install GatewayRoutes.
+func NewGateway(s *Simulation, name string, procDelay Duration) *Gateway {
+	return gateway.New(s.Kernel, gateway.Config{Name: name, ProcDelay: procDelay})
+}
+
+// NewClockDomain creates a synchronization domain with the named
+// grandmaster station on one of the simulation's networks.
+func NewClockDomain(s *Simulation, netName, master string) (*ClockDomain, error) {
+	n, ok := s.Networks[netName]
+	if !ok {
+		return nil, &unknownNetworkError{netName}
+	}
+	return clocksync.NewDomain(s.Kernel, n, master, clocksync.DefaultConfig()), nil
+}
+
+type unknownNetworkError struct{ name string }
+
+func (e *unknownNetworkError) Error() string {
+	return "dynaplat: unknown network " + e.name
+}
+
+// NewModeManager creates a degradation-mode manager with the canonical
+// normal/degraded/limp-home policies.
+func NewModeManager(s *Simulation) *ModeManager {
+	return platform.NewModeManager(s.Platform, platform.DefaultModes())
+}
+
+// NewAliveSupervision creates a watchdog on a node with the given window.
+func NewAliveSupervision(n *Node, window Duration) *AliveSupervision {
+	return monitor.NewAliveSupervision(n, window)
+}
+
+// RunCampaign rolls an update across a fleet in canary waves.
+func RunCampaign(k *Kernel, fleet []string, updater update.VehicleUpdater,
+	cfg CampaignConfig, done func(CampaignReport)) error {
+	return update.RunCampaign(k, fleet, updater, cfg, done)
+}
+
+// ParetoFront returns the non-dominated placements of a system model
+// over (ECU cost, peak utilization, cross-ECU traffic).
+func ParetoFront(sys *System, budget int64, seed uint64) []ParetoPoint {
+	return dse.ParetoFront(sys, budget, seed)
+}
+
+// DefaultCampaignConfig returns the 1% canary / 10% / full-rollout waves.
+func DefaultCampaignConfig() CampaignConfig { return update.DefaultCampaignConfig() }
+
+// NewDriftingClock creates a local clock with initial offset and drift in
+// parts per billion, for use with a ClockDomain.
+func NewDriftingClock(offset Duration, driftPPB float64) *Clock {
+	return clocksync.NewClock(sim.Duration(offset), driftPPB)
+}

@@ -1,0 +1,104 @@
+package dynaplat
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFacadeClockDomain(t *testing.T) {
+	s, err := FromDSL(demoDSL, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewClockDomain(s, "Backbone", "CPM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSlave("Zone", NewDriftingClock(2*Millisecond, 50_000)); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	s.Run(2 * Second)
+	e, err := d.SlaveError("Zone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 0 {
+		e = -e
+	}
+	if e > 100*Microsecond {
+		t.Errorf("residual error = %v", e)
+	}
+	if _, err := NewClockDomain(s, "Ghost", "CPM"); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestFacadeModeManagerAndAlive(t *testing.T) {
+	s, err := FromDSL(demoDSL, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartAll()
+	mm := NewModeManager(s)
+	ws := NewAliveSupervision(s.Node("Head"), 100*Millisecond)
+	if err := ws.Supervise("Media", 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Media never reports alive → violation; three misses of the
+	// escalation kind would flip the mode (exercised in platform tests).
+	s.Run(500 * Millisecond)
+	if len(ws.Violations) == 0 {
+		t.Error("silent app not flagged")
+	}
+	mm.Escalate("test")
+	if mm.Current() != "degraded" {
+		t.Errorf("mode = %s", mm.Current())
+	}
+	if s.App("Media").State.String() != "stopped" {
+		t.Error("Media kept running in degraded mode")
+	}
+}
+
+func TestFacadeCampaign(t *testing.T) {
+	s, err := FromDSL(demoDSL, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := make([]string, 50)
+	for i := range fleet {
+		fleet[i] = fmt.Sprintf("vin%02d", i)
+	}
+	var rep CampaignReport
+	err = RunCampaign(s.Kernel, fleet, func(v string, done func(bool)) {
+		s.Kernel.After(Millisecond, func() { done(true) })
+	}, DefaultCampaignConfig(), func(r CampaignReport) { rep = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(time10s())
+	if rep.Updated != 50 || rep.Halted {
+		t.Errorf("campaign = %+v", rep)
+	}
+}
+
+func time10s() Duration { return 10 * Second }
+
+func TestFacadeParetoFront(t *testing.T) {
+	sys, err := ParseModel(demoDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(sys, 0, 1)
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+}
+
+func TestFacadeE2E(t *testing.T) {
+	tx := &E2ESender{DataID: 1}
+	rx := &E2EReceiver{DataID: 1}
+	if st, _ := rx.Check(tx.Protect([]byte("x"))); st.String() != "ok" {
+		t.Errorf("status = %v", st)
+	}
+}

@@ -1,0 +1,3 @@
+module dynaplat
+
+go 1.22

@@ -1,0 +1,212 @@
+package admission
+
+import (
+	"strings"
+	"testing"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/sim"
+)
+
+func ms(n int64) sim.Duration { return sim.Duration(n) * sim.Millisecond }
+
+func vehicle() *model.System {
+	return model.MustParse(`
+system V
+ecu CPM cpu=200MHz mem=2MB mmu crypto gpu os=rtos cost=30
+ecu Head cpu=1GHz mem=64MB mmu os=posix cost=25
+network Body type=can rate=500kbps attach=CPM,Head
+network BB type=ethernet rate=100Mbps attach=CPM,Head
+app Base kind=da asil=C period=10ms wcet=4ms mem=256KB on=CPM
+iface BaseStatus owner=Base paradigm=event payload=8B period=10ms net=Body
+`)
+}
+
+func daReq(name string, period, wcet sim.Duration, memKB int) Request {
+	return Request{
+		App: model.App{Name: name, Kind: model.Deterministic, ASIL: model.ASILC,
+			Period: period, WCET: wcet, Deadline: period, MemoryKB: memKB},
+		ECU: "CPM",
+	}
+}
+
+func TestAdmitFits(t *testing.T) {
+	c := NewController(vehicle())
+	d, err := c.Admit(daReq("New", ms(20), ms(2), 128))
+	if err != nil || !d.Admitted {
+		t.Fatalf("admit: %+v %v", d, err)
+	}
+	// The model now contains the app.
+	if c.sys.App("New") == nil || c.sys.Placement["New"] != "CPM" {
+		t.Error("model not updated")
+	}
+	// Base(4ms@200MHz→2ms /10ms = 0.2) + New(2→1ms /20ms = 0.05)
+	if d.CPUUtilAfter < 0.24 || d.CPUUtilAfter > 0.26 {
+		t.Errorf("util = %v", d.CPUUtilAfter)
+	}
+}
+
+func TestRejectCPUOverload(t *testing.T) {
+	c := NewController(vehicle())
+	d := c.Check(daReq("Hog", ms(10), ms(18), 64)) // 18ms@200MHz → 9ms/10ms + base 0.2
+	if d.Admitted {
+		t.Fatalf("overload admitted: %+v", d)
+	}
+	found := false
+	for _, r := range d.Reasons {
+		if strings.Contains(r, "CPU") || strings.Contains(r, "utilization") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reasons = %v", d.Reasons)
+	}
+	// Check must not mutate.
+	if c.sys.App("Hog") != nil {
+		t.Error("Check mutated the model")
+	}
+}
+
+func TestRejectMemory(t *testing.T) {
+	c := NewController(vehicle())
+	d := c.Check(daReq("Big", ms(100), ms(1), 4096))
+	if d.Admitted {
+		t.Fatal("memory overcommit admitted")
+	}
+}
+
+func TestRejectDAOnPosix(t *testing.T) {
+	c := NewController(vehicle())
+	req := daReq("X", ms(10), ms(1), 64)
+	req.ECU = "Head"
+	if d := c.Check(req); d.Admitted {
+		t.Fatal("DA on POSIX admitted")
+	}
+}
+
+func TestRejectUnknownECUAndDuplicate(t *testing.T) {
+	c := NewController(vehicle())
+	req := daReq("X", ms(10), ms(1), 64)
+	req.ECU = "Ghost"
+	if d := c.Check(req); d.Admitted {
+		t.Fatal("unknown ECU admitted")
+	}
+	dup := daReq("Base", ms(10), ms(1), 64)
+	if d := c.Check(dup); d.Admitted {
+		t.Fatal("duplicate app admitted")
+	}
+}
+
+func TestHardwareRequirements(t *testing.T) {
+	c := NewController(vehicle())
+	req := daReq("AI", ms(50), ms(5), 128)
+	req.App.NeedsGPU = true
+	if d := c.Check(req); !d.Admitted {
+		t.Fatalf("GPU app rejected on GPU ECU: %v", d.Reasons)
+	}
+	req.ECU = "Head" // no GPU there (and POSIX)
+	req.App.Kind = model.NonDeterministic
+	if d := c.Check(req); d.Admitted {
+		t.Fatal("GPU app admitted on GPU-less ECU")
+	}
+}
+
+func TestCANInterfaceAdmission(t *testing.T) {
+	c := NewController(vehicle())
+	req := daReq("Sensor", ms(20), ms(1), 64)
+	req.Interfaces = []model.Interface{{
+		Name: "SensorData", Owner: "Sensor", Paradigm: model.Event,
+		PayloadBytes: 8, Period: ms(20), LatencyBound: ms(5), Network: "Body",
+	}}
+	d, err := c.Admit(req)
+	if err != nil || !d.Admitted {
+		t.Fatalf("CAN interface rejected: %+v %v", d, err)
+	}
+	if d.BusLoadAfter["Body"] <= 0 {
+		t.Error("bus load not reported")
+	}
+}
+
+func TestCANOverloadRejected(t *testing.T) {
+	c := NewController(vehicle())
+	req := daReq("Chatty", ms(1), 100*sim.Microsecond, 64)
+	req.Interfaces = []model.Interface{{
+		Name: "Chat", Owner: "Chatty", Paradigm: model.Event,
+		PayloadBytes: 8, Period: 250 * sim.Microsecond, Network: "Body",
+	}}
+	// 8B frame = 135 stuffed bits = 270us at 500k; every 250us → >100%.
+	d := c.Check(req)
+	if d.Admitted {
+		t.Fatalf("overloaded CAN admitted: %+v", d)
+	}
+}
+
+func TestCANNeedsPeriod(t *testing.T) {
+	c := NewController(vehicle())
+	req := daReq("S", ms(10), ms(1), 64)
+	req.Interfaces = []model.Interface{{
+		Name: "Aperiodic", Owner: "S", PayloadBytes: 8, Network: "Body",
+	}}
+	if d := c.Check(req); d.Admitted {
+		t.Fatal("aperiodic CAN interface admitted")
+	}
+}
+
+func TestEthernetLoadAdmission(t *testing.T) {
+	c := NewController(vehicle())
+	req := Request{
+		App: model.App{Name: "Cam", Kind: model.NonDeterministic, MemoryKB: 64},
+		ECU: "CPM",
+		Interfaces: []model.Interface{{
+			Name: "Video", Owner: "Cam", Paradigm: model.Stream,
+			PayloadBytes: 1400, BitsPerSecond: 60_000_000, Network: "BB",
+		}},
+	}
+	d, err := c.Admit(req)
+	if err != nil || !d.Admitted {
+		t.Fatalf("60Mbps stream on 100Mbps rejected: %+v %v", d, err)
+	}
+	// A second 60Mbps stream busts the 75% cap.
+	req2 := req
+	req2.App.Name = "Cam2"
+	req2.Interfaces = []model.Interface{{
+		Name: "Video2", Owner: "Cam2", Paradigm: model.Stream,
+		PayloadBytes: 1400, BitsPerSecond: 60_000_000, Network: "BB",
+	}}
+	if d := c.Check(req2); d.Admitted {
+		t.Fatalf("120Mbps on 100Mbps admitted: %+v", d)
+	}
+}
+
+func TestUnattachedNetworkRejected(t *testing.T) {
+	sys := vehicle()
+	sys.Network("Body").Attached = []string{"Head"} // CPM no longer on Body
+	c := NewController(sys)
+	req := daReq("S", ms(20), ms(1), 64)
+	req.Interfaces = []model.Interface{{
+		Name: "X", Owner: "S", PayloadBytes: 8, Period: ms(20), Network: "Body",
+	}}
+	if d := c.Check(req); d.Admitted {
+		t.Fatal("unreachable network admitted")
+	}
+}
+
+func TestRemoveFreesCapacity(t *testing.T) {
+	c := NewController(vehicle())
+	if _, err := c.Admit(daReq("A", ms(10), ms(10), 64)); err != nil { // 5ms scaled/10ms
+		t.Fatal(err)
+	}
+	// Now nearly full: base 0.2 + A 0.5 = 0.7; a 0.5 app won't fit.
+	if d := c.Check(daReq("B", ms(10), ms(10), 64)); d.Admitted {
+		t.Fatal("over-capacity admitted")
+	}
+	if err := c.Remove("A"); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Check(daReq("B", ms(10), ms(10), 64)); !d.Admitted {
+		t.Fatalf("freed capacity not reusable: %v", d.Reasons)
+	}
+	if err := c.Remove("Ghost"); err == nil {
+		t.Error("removing unknown app succeeded")
+	}
+}

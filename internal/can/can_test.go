@@ -1,0 +1,164 @@
+package can
+
+import (
+	"testing"
+
+	"dynaplat/internal/network"
+	"dynaplat/internal/sim"
+)
+
+func newBus(k *sim.Kernel) *Bus {
+	return New(k, Config{Name: "body", BitsPerSecond: 500_000})
+}
+
+func TestFrameBits(t *testing.T) {
+	// 8-byte frame: 47 + 64 = 111 bits unstuffed; +24 worst-case stuffed.
+	if got := FrameBits(8, false); got != 111 {
+		t.Errorf("FrameBits(8, plain) = %d, want 111", got)
+	}
+	if got := FrameBits(8, true); got != 135 {
+		t.Errorf("FrameBits(8, stuffed) = %d, want 135", got)
+	}
+	if got := FrameBits(0, false); got != 47 {
+		t.Errorf("FrameBits(0) = %d, want 47", got)
+	}
+}
+
+func TestSingleFrameLatency(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := newBus(k)
+	var got []network.Delivery
+	b.Attach("a", func(d network.Delivery) {})
+	b.Attach("z", func(d network.Delivery) { got = append(got, d) })
+	b.Send(network.Message{ID: 0x100, Src: "a", Dst: "z", Bytes: 8})
+	k.Run()
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	// 111 bits at 500 kbps = 222 µs.
+	if lat := got[0].Latency(); lat != 222*sim.Microsecond {
+		t.Errorf("latency = %v, want 222us", lat)
+	}
+}
+
+func TestArbitrationLowIDWins(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := newBus(k)
+	var order []uint32
+	b.Attach("a", func(network.Delivery) {})
+	b.Attach("b", func(network.Delivery) {})
+	b.Attach("z", func(d network.Delivery) { order = append(order, d.Msg.ID) })
+	k.At(0, func() {
+		// All enqueued same instant; the bus must serve by ascending ID.
+		b.Send(network.Message{ID: 0x300, Src: "a", Dst: "z", Bytes: 1})
+		b.Send(network.Message{ID: 0x100, Src: "b", Dst: "z", Bytes: 1})
+		b.Send(network.Message{ID: 0x200, Src: "a", Dst: "z", Bytes: 1})
+	})
+	k.Run()
+	// First Send grabs the idle bus immediately (non-preemptive); the
+	// remaining two arbitrate by priority.
+	want := []uint32{0x300, 0x100, 0x200}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %#x, want %#x", order, want)
+		}
+	}
+}
+
+func TestBlockingByLowerPriority(t *testing.T) {
+	// A high-priority frame enqueued during a bulk transmission waits
+	// exactly until the bus frees: the bounded priority-inversion CAN
+	// is known for.
+	k := sim.NewKernel(1)
+	b := newBus(k)
+	var urgent network.Delivery
+	b.Attach("bulk", func(network.Delivery) {})
+	b.Attach("ctrl", func(network.Delivery) {})
+	b.Attach("z", func(d network.Delivery) {
+		if d.Msg.ID == 0x10 {
+			urgent = d
+		}
+	})
+	k.At(0, func() { b.Send(network.Message{ID: 0x700, Src: "bulk", Dst: "z", Bytes: 8}) })
+	k.At(sim.Time(10*sim.Microsecond), func() {
+		b.Send(network.Message{ID: 0x10, Src: "ctrl", Dst: "z", Bytes: 1})
+	})
+	k.Run()
+	// Bulk frame: 111 bits = 222us. Urgent: 55 bits = 110us, enqueued at
+	// 10us, starts at 222us, done at 332us → latency 322us.
+	if lat := urgent.Latency(); lat != 322*sim.Microsecond {
+		t.Errorf("urgent latency = %v, want 322us", lat)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := newBus(k)
+	got := map[string]int{}
+	for _, n := range []string{"a", "b", "c"} {
+		n := n
+		b.Attach(n, func(network.Delivery) { got[n]++ })
+	}
+	b.Send(network.Message{ID: 1, Src: "a", Bytes: 4})
+	k.Run()
+	if got["a"] != 0 || got["b"] != 1 || got["c"] != 1 {
+		t.Errorf("broadcast counts = %v", got)
+	}
+}
+
+func TestSendPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := newBus(k)
+	b.Attach("a", func(network.Delivery) {})
+	for _, msg := range []network.Message{
+		{ID: 1, Src: "ghost", Bytes: 1},
+		{ID: 1, Src: "a", Bytes: 9},
+		{ID: 1, Src: "a", Bytes: -1},
+	} {
+		msg := msg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Send(%+v) did not panic", msg)
+				}
+			}()
+			b.Send(msg)
+		}()
+	}
+}
+
+func TestUtilizationAndStats(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := newBus(k)
+	b.Attach("a", func(network.Delivery) {})
+	b.Attach("z", func(network.Delivery) {})
+	for i := 0; i < 10; i++ {
+		b.Send(network.Message{ID: uint32(i), Src: "a", Dst: "z", Bytes: 8})
+	}
+	k.Run()
+	if b.FramesSent != 10 {
+		t.Errorf("FramesSent = %d", b.FramesSent)
+	}
+	if u := b.Utilization(); u < 0.99 || u > 1.01 {
+		t.Errorf("back-to-back utilization = %v, want ~1", u)
+	}
+	if b.PendingFrames() != 0 {
+		t.Errorf("pending = %d after run", b.PendingFrames())
+	}
+	if b.ArbitrationQ.Count() != 10 {
+		t.Errorf("queue samples = %d", b.ArbitrationQ.Count())
+	}
+}
+
+func TestWorstCaseStuffingSlows(t *testing.T) {
+	k := sim.NewKernel(1)
+	plain := New(k, Config{BitsPerSecond: 500_000})
+	stuffed := New(k, Config{BitsPerSecond: 500_000, WorstCaseStuffing: true})
+	if plain.FrameTime(8) >= stuffed.FrameTime(8) {
+		t.Errorf("stuffing should lengthen frames: %v vs %v",
+			plain.FrameTime(8), stuffed.FrameTime(8))
+	}
+}

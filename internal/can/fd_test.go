@@ -1,0 +1,87 @@
+package can
+
+import (
+	"testing"
+
+	"dynaplat/internal/network"
+	"dynaplat/internal/sim"
+)
+
+func TestFDPayloadLen(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 8: 8, 9: 12, 13: 16, 33: 48, 49: 64, 64: 64}
+	for in, want := range cases {
+		if got := FDPayloadLen(in); got != want {
+			t.Errorf("FDPayloadLen(%d) = %d, want %d", in, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FDPayloadLen(65) did not panic")
+		}
+	}()
+	FDPayloadLen(65)
+}
+
+func TestFDFrameTimeBeatsClassicForLargePayloads(t *testing.T) {
+	// 64 bytes over classic CAN needs 8 frames; one FD frame at
+	// 500k/2M carries it far faster.
+	classic := 8 * New(sim.NewKernel(1), Config{BitsPerSecond: 500_000}).FrameTime(8)
+	fd := FDFrameTime(64, 500_000, 2_000_000)
+	if fd >= classic {
+		t.Errorf("FD %v !< 8 classic frames %v", fd, classic)
+	}
+}
+
+func TestFDBusEndToEnd(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewFD(k, Config{Name: "fd", BitsPerSecond: 500_000}, 2_000_000)
+	if !b.IsFD() {
+		t.Fatal("not FD")
+	}
+	var got []network.Delivery
+	b.Attach("a", func(network.Delivery) {})
+	b.Attach("z", func(d network.Delivery) { got = append(got, d) })
+	b.Send(network.Message{ID: 0x10, Src: "a", Dst: "z", Bytes: 48})
+	k.Run()
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	want := FDFrameTime(48, 500_000, 2_000_000)
+	if got[0].Latency() != want {
+		t.Errorf("latency = %v, want %v", got[0].Latency(), want)
+	}
+	// Classic limit no longer applies; FD limit does.
+	defer func() {
+		if recover() == nil {
+			t.Error("65B payload accepted on FD bus")
+		}
+	}()
+	b.Send(network.Message{ID: 1, Src: "a", Bytes: 65})
+}
+
+func TestFDArbitrationStillByID(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewFD(k, Config{Name: "fd", BitsPerSecond: 500_000}, 2_000_000)
+	var order []uint32
+	b.Attach("a", func(network.Delivery) {})
+	b.Attach("z", func(d network.Delivery) { order = append(order, d.Msg.ID) })
+	k.At(0, func() {
+		b.Send(network.Message{ID: 0x300, Src: "a", Dst: "z", Bytes: 64})
+		b.Send(network.Message{ID: 0x100, Src: "a", Dst: "z", Bytes: 8})
+		b.Send(network.Message{ID: 0x200, Src: "a", Dst: "z", Bytes: 8})
+	})
+	k.Run()
+	if len(order) != 3 || order[1] != 0x100 || order[2] != 0x200 {
+		t.Errorf("order = %#x", order)
+	}
+}
+
+func TestFDDLCQuantizationOnWire(t *testing.T) {
+	// 9 bytes must cost the same wire time as 12 (DLC rounding).
+	if FDFrameTime(9, 500_000, 2_000_000) != FDFrameTime(12, 500_000, 2_000_000) {
+		t.Error("DLC rounding not applied")
+	}
+	if FDFrameTime(12, 500_000, 2_000_000) >= FDFrameTime(16, 500_000, 2_000_000) {
+		t.Error("larger DLC not slower")
+	}
+}

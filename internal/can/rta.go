@@ -1,0 +1,136 @@
+package can
+
+import (
+	"fmt"
+	"sort"
+
+	"dynaplat/internal/sim"
+)
+
+// This file implements worst-case response-time analysis for CAN frame
+// sets (Davis, Burns, Bril, Lukkien: "Controller Area Network (CAN)
+// schedulability analysis", Real-Time Systems 2007). It is the
+// communication-side counterpart of the CPU admission control in
+// internal/sched: before mapping an interface onto a CAN bus, the
+// platform can prove every frame's worst-case latency.
+
+// FrameSpec describes one periodic frame for analysis.
+type FrameSpec struct {
+	// ID is the arbitration identifier (lower = higher priority) and
+	// must be unique within the set.
+	ID uint32
+	// Period between queuings; must be positive.
+	Period sim.Duration
+	// Bytes is the payload size (≤ MaxPayload).
+	Bytes int
+	// Deadline relative to queuing; 0 means implicit (== Period).
+	Deadline sim.Duration
+	// Jitter is the queuing jitter (release delay bound).
+	Jitter sim.Duration
+}
+
+// EffectiveDeadline returns Deadline, or Period when implicit.
+func (f *FrameSpec) EffectiveDeadline() sim.Duration {
+	if f.Deadline > 0 {
+		return f.Deadline
+	}
+	return f.Period
+}
+
+// FrameRTAResult is one frame's analysis outcome.
+type FrameRTAResult struct {
+	ID       uint32
+	Response sim.Duration
+	Deadline sim.Duration
+	OK       bool
+}
+
+// BusUtilization returns the fraction of bus time the frame set needs.
+func BusUtilization(frames []FrameSpec, cfg Config) float64 {
+	u := 0.0
+	for i := range frames {
+		bits := FrameBits(frames[i].Bytes, cfg.WorstCaseStuffing)
+		txNs := float64(bits) * 1e9 / float64(cfg.BitsPerSecond)
+		u += txNs / float64(frames[i].Period)
+	}
+	return u
+}
+
+// ResponseTimeAnalysis computes each frame's worst-case queuing-to-
+// delivery response time under priority arbitration with non-preemptive
+// transmission: R_i = J_i + w_i + C_i where w_i is the busy-period
+// fixpoint over higher-priority interference plus the longest lower-
+// priority blocking frame.
+func ResponseTimeAnalysis(frames []FrameSpec, cfg Config) ([]FrameRTAResult, bool, error) {
+	if cfg.BitsPerSecond <= 0 {
+		return nil, false, fmt.Errorf("can: non-positive bit rate")
+	}
+	seen := map[uint32]bool{}
+	for i := range frames {
+		f := &frames[i]
+		if f.Period <= 0 {
+			return nil, false, fmt.Errorf("can: frame %#x: non-positive period", f.ID)
+		}
+		if f.Bytes < 0 || f.Bytes > MaxPayload {
+			return nil, false, fmt.Errorf("can: frame %#x: bad payload %d", f.ID, f.Bytes)
+		}
+		if seen[f.ID] {
+			return nil, false, fmt.Errorf("can: duplicate frame ID %#x", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	ordered := append([]FrameSpec(nil), frames...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+
+	tx := func(f *FrameSpec) sim.Duration {
+		bits := FrameBits(f.Bytes, cfg.WorstCaseStuffing)
+		return sim.Duration((bits*1_000_000_000 + cfg.BitsPerSecond - 1) / cfg.BitsPerSecond)
+	}
+	// tauBit is one bit time: a frame that has started winning
+	// arbitration cannot be preempted, so interference is counted from
+	// w+tauBit.
+	tauBit := sim.Duration((1_000_000_000 + cfg.BitsPerSecond - 1) / cfg.BitsPerSecond)
+
+	results := make([]FrameRTAResult, len(ordered))
+	allOK := true
+	for i := range ordered {
+		fi := &ordered[i]
+		ci := tx(fi)
+		// Blocking: longest lower-priority frame (non-preemptive).
+		var block sim.Duration
+		for j := i + 1; j < len(ordered); j++ {
+			if c := tx(&ordered[j]); c > block {
+				block = c
+			}
+		}
+		d := fi.EffectiveDeadline()
+		w := block
+		diverged := false
+		for iter := 0; ; iter++ {
+			if iter > 10000 || w > 100*d {
+				diverged = true
+				break
+			}
+			next := block
+			for j := 0; j < i; j++ {
+				fj := &ordered[j]
+				n := (int64(w+tauBit+fj.Jitter) + int64(fj.Period) - 1) / int64(fj.Period)
+				if n < 1 {
+					n = 1
+				}
+				next += sim.Duration(n) * tx(fj)
+			}
+			if next == w {
+				break
+			}
+			w = next
+		}
+		r := fi.Jitter + w + ci
+		ok := !diverged && r <= d
+		if !ok {
+			allOK = false
+		}
+		results[i] = FrameRTAResult{ID: fi.ID, Response: r, Deadline: d, OK: ok}
+	}
+	return results, allOK, nil
+}

@@ -1,0 +1,149 @@
+package can
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynaplat/internal/network"
+	"dynaplat/internal/sim"
+)
+
+func ms(n int64) sim.Duration { return sim.Duration(n) * sim.Millisecond }
+
+func cfg500k() Config { return Config{BitsPerSecond: 500_000} }
+
+func TestBusUtilization(t *testing.T) {
+	frames := []FrameSpec{
+		{ID: 1, Period: ms(10), Bytes: 8}, // 111 bits / 500k = 222us per 10ms
+	}
+	u := BusUtilization(frames, cfg500k())
+	if u < 0.022 || u > 0.023 {
+		t.Errorf("utilization = %v, want ~0.0222", u)
+	}
+}
+
+func TestRTAHighestPriorityBlockedOnlyOnce(t *testing.T) {
+	frames := []FrameSpec{
+		{ID: 0x10, Period: ms(10), Bytes: 1},
+		{ID: 0x700, Period: ms(5), Bytes: 8},
+	}
+	res, ok, err := ResponseTimeAnalysis(frames, cfg500k())
+	if err != nil || !ok {
+		t.Fatalf("rta: ok=%v err=%v %v", ok, err, res)
+	}
+	// Frame 0x10: tx = 55 bits = 110us; blocking = 8B frame = 222us.
+	// R = 222 + 110 = 332us.
+	if res[0].ID != 0x10 || res[0].Response != 332*sim.Microsecond {
+		t.Errorf("res[0] = %+v, want R=332us", res[0])
+	}
+}
+
+func TestRTAValidation(t *testing.T) {
+	bad := [][]FrameSpec{
+		{{ID: 1, Period: 0, Bytes: 1}},
+		{{ID: 1, Period: ms(1), Bytes: 9}},
+		{{ID: 1, Period: ms(1), Bytes: 1}, {ID: 1, Period: ms(2), Bytes: 1}},
+	}
+	for i, frames := range bad {
+		if _, _, err := ResponseTimeAnalysis(frames, cfg500k()); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, _, err := ResponseTimeAnalysis(nil, Config{}); err == nil {
+		t.Error("zero bit rate accepted")
+	}
+}
+
+func TestRTAOverloadRejected(t *testing.T) {
+	// 3 frames of 8B every 500us at 500kbps: U = 3*222/500 > 1.
+	frames := []FrameSpec{
+		{ID: 1, Period: 500 * sim.Microsecond, Bytes: 8},
+		{ID: 2, Period: 500 * sim.Microsecond, Bytes: 8},
+		{ID: 3, Period: 500 * sim.Microsecond, Bytes: 8},
+	}
+	_, ok, err := ResponseTimeAnalysis(frames, cfg500k())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("overloaded bus accepted")
+	}
+}
+
+// Property: the analytical worst case is never exceeded by simulation.
+// Random frame sets at ≤70% bus load, all stations release in phase
+// (the critical instant), simulated for several hyperperiods.
+func TestRTABoundsSimulation(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		cfg := cfg500k()
+		n := rng.Range(2, 6)
+		periods := []sim.Duration{ms(5), ms(10), ms(20)}
+		var frames []FrameSpec
+		for i := 0; i < n; i++ {
+			frames = append(frames, FrameSpec{
+				ID:     uint32(0x100 + i*0x10),
+				Period: periods[rng.Intn(len(periods))],
+				Bytes:  rng.Range(1, 8),
+			})
+		}
+		if BusUtilization(frames, cfg) > 0.7 {
+			return true // vacuous
+		}
+		res, ok, err := ResponseTimeAnalysis(frames, cfg)
+		if err != nil || !ok {
+			return true // vacuous: only bound feasible sets
+		}
+		bound := map[uint32]sim.Duration{}
+		for _, r := range res {
+			bound[r.ID] = r.Response
+		}
+		// Simulate with synchronous release (worst case instant).
+		k := sim.NewKernel(seed)
+		bus := New(k, cfg)
+		bus.Attach("src", func(network.Delivery) {})
+		worst := map[uint32]sim.Duration{}
+		bus.Attach("sink", func(d network.Delivery) {
+			if d.Latency() > worst[d.Msg.ID] {
+				worst[d.Msg.ID] = d.Latency()
+			}
+		})
+		for _, f := range frames {
+			f := f
+			k.Every(0, f.Period, func() {
+				bus.Send(network.Message{ID: f.ID, Src: "src", Dst: "sink", Bytes: f.Bytes})
+			})
+		}
+		k.RunUntil(sim.Time(200 * ms(1)))
+		for id, w := range worst {
+			if w > bound[id] {
+				t.Logf("seed %d: frame %#x simulated %v > bound %v", seed, id, w, bound[id])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRTAJitterIncreasesResponse(t *testing.T) {
+	base := []FrameSpec{
+		{ID: 1, Period: ms(10), Bytes: 8},
+		{ID: 2, Period: ms(10), Bytes: 8},
+	}
+	jittery := []FrameSpec{
+		{ID: 1, Period: ms(10), Bytes: 8, Jitter: ms(1)},
+		{ID: 2, Period: ms(10), Bytes: 8},
+	}
+	r1, _, _ := ResponseTimeAnalysis(base, cfg500k())
+	r2, _, _ := ResponseTimeAnalysis(jittery, cfg500k())
+	if r2[0].Response <= r1[0].Response {
+		t.Errorf("jitter did not increase R: %v vs %v", r2[0].Response, r1[0].Response)
+	}
+	// Frame 1's jitter also interferes with lower-priority frame 2.
+	if r2[1].Response < r1[1].Response {
+		t.Errorf("hp jitter decreased lp response: %v vs %v", r2[1].Response, r1[1].Response)
+	}
+}

@@ -1,0 +1,211 @@
+// Package clocksync simulates in-vehicle time synchronization in the
+// style of IEEE 802.1AS (gPTP): every ECU has a local clock with offset
+// and drift; a grandmaster distributes its time over a simulated network;
+// slaves measure the path delay with a request/response exchange and
+// discipline their clocks each sync round.
+//
+// The paper needs this twice: TSN's time-aware gates assume a
+// synchronized network (Section 5.3), and Section 3.2 argues that a
+// centrally synchronized update switch "requires high accuracy clock
+// synchronization" — this package quantifies exactly how much residual
+// error such synchronization leaves (used by experiment E6's discussion).
+package clocksync
+
+import (
+	"fmt"
+
+	"dynaplat/internal/network"
+	"dynaplat/internal/sim"
+)
+
+// Clock is one ECU's local clock. Local time advances at a slightly
+// wrong rate (drift, in parts per billion) from a wrong starting offset.
+type Clock struct {
+	// OffsetNs is the current correction-inclusive offset from perfect
+	// time at perfect time zero.
+	offsetNs float64
+	// driftPPB is the frequency error in parts per billion.
+	driftPPB float64
+}
+
+// NewClock creates a clock with the given initial offset and drift.
+func NewClock(offset sim.Duration, driftPPB float64) *Clock {
+	return &Clock{offsetNs: float64(offset), driftPPB: driftPPB}
+}
+
+// Read returns the local time at perfect (simulation) time now.
+func (c *Clock) Read(now sim.Time) sim.Time {
+	return sim.Time(float64(now) + c.offsetNs + c.driftPPB*1e-9*float64(now))
+}
+
+// Error returns local-minus-perfect time at now.
+func (c *Clock) Error(now sim.Time) sim.Duration {
+	return c.Read(now).Sub(now)
+}
+
+// Step applies an offset correction (negative delta slows the clock's
+// reading back).
+func (c *Clock) Step(delta sim.Duration) { c.offsetNs -= float64(delta) }
+
+// Config tunes the protocol.
+type Config struct {
+	// SyncPeriod is the grandmaster's announcement interval.
+	SyncPeriod sim.Duration
+	// MsgBytes is the sync/delay message size on the wire.
+	MsgBytes int
+	// BaseID is the technology message-ID block used by the protocol.
+	BaseID uint32
+}
+
+// DefaultConfig returns the 802.1AS-like 125 ms sync interval.
+func DefaultConfig() Config {
+	return Config{SyncPeriod: 125 * sim.Millisecond, MsgBytes: 44, BaseID: 0xCC00}
+}
+
+// Domain is one synchronization domain: a grandmaster station and its
+// slaves, all attached to one network.
+type Domain struct {
+	k      *sim.Kernel
+	net    network.Network
+	cfg    Config
+	master string
+	slaves map[string]*slave
+	ticker *sim.Ticker
+
+	// Rounds counts completed sync rounds.
+	Rounds int64
+}
+
+type slave struct {
+	name  string
+	clock *Clock
+	// pathDelay is the latest measured one-way delay estimate.
+	pathDelay sim.Duration
+	reqSent   sim.Time
+	// ErrAfterSync samples |clock error| right after each correction.
+	ErrAfterSync sim.Sample
+}
+
+// NewDomain creates a sync domain with the named grandmaster station.
+// The grandmaster's own clock is the time reference (error 0).
+func NewDomain(k *sim.Kernel, net network.Network, master string, cfg Config) *Domain {
+	d := &Domain{k: k, net: net, cfg: cfg, master: master, slaves: map[string]*slave{}}
+	net.Attach(master, d.onMasterRx)
+	return d
+}
+
+// AddSlave registers a station's clock for synchronization.
+func (d *Domain) AddSlave(name string, clock *Clock) error {
+	if name == d.master {
+		return fmt.Errorf("clocksync: %s is the grandmaster", name)
+	}
+	if _, dup := d.slaves[name]; dup {
+		return fmt.Errorf("clocksync: slave %s already registered", name)
+	}
+	s := &slave{name: name, clock: clock}
+	d.slaves[name] = s
+	d.net.Attach(name, func(del network.Delivery) { d.onSlaveRx(s, del) })
+	return nil
+}
+
+// SlaveError returns a slave's clock error at the current instant.
+func (d *Domain) SlaveError(name string) (sim.Duration, error) {
+	s, ok := d.slaves[name]
+	if !ok {
+		return 0, fmt.Errorf("clocksync: unknown slave %s", name)
+	}
+	return s.clock.Error(d.k.Now()), nil
+}
+
+// ErrAfterSync returns the post-correction error sample of a slave.
+func (d *Domain) ErrAfterSync(name string) *sim.Sample {
+	if s, ok := d.slaves[name]; ok {
+		return &s.ErrAfterSync
+	}
+	return &sim.Sample{}
+}
+
+// Start begins periodic sync rounds.
+func (d *Domain) Start() {
+	d.ticker = d.k.Every(d.k.Now().Add(d.cfg.SyncPeriod), d.cfg.SyncPeriod, d.round)
+}
+
+// Stop halts synchronization.
+func (d *Domain) Stop() {
+	if d.ticker != nil {
+		d.ticker.Stop()
+	}
+}
+
+// Protocol message kinds carried in Payload.
+type msgKind int
+
+const (
+	kindSync msgKind = iota
+	kindDelayReq
+	kindDelayResp
+)
+
+type syncMsg struct {
+	kind msgKind
+	// t1 is the master timestamp at sync transmission, or at delay-resp
+	// reception of the request.
+	t1   sim.Time
+	from string
+}
+
+// round broadcasts the master time and triggers delay measurements.
+func (d *Domain) round() {
+	d.Rounds++
+	d.net.Send(network.Message{
+		ID: d.cfg.BaseID, Src: d.master, Class: network.ClassControl,
+		Bytes: d.cfg.MsgBytes, Payload: syncMsg{kind: kindSync, t1: d.k.Now()},
+	})
+}
+
+func (d *Domain) onMasterRx(del network.Delivery) {
+	m, ok := del.Msg.Payload.(syncMsg)
+	if !ok || m.kind != kindDelayReq {
+		return
+	}
+	// Respond with the master receive timestamp.
+	d.net.Send(network.Message{
+		ID: d.cfg.BaseID + 1, Src: d.master, Dst: m.from, Class: network.ClassControl,
+		Bytes:   d.cfg.MsgBytes,
+		Payload: syncMsg{kind: kindDelayResp, t1: d.k.Now(), from: m.from},
+	})
+}
+
+func (d *Domain) onSlaveRx(s *slave, del network.Delivery) {
+	m, ok := del.Msg.Payload.(syncMsg)
+	if !ok {
+		return
+	}
+	now := d.k.Now()
+	switch m.kind {
+	case kindSync:
+		// Offset = localRx − (masterTx + pathDelay).
+		localRx := s.clock.Read(now)
+		masterEstimate := m.t1.Add(s.pathDelay)
+		offset := localRx.Sub(masterEstimate)
+		s.clock.Step(offset)
+		err := s.clock.Error(now)
+		if err < 0 {
+			err = -err
+		}
+		s.ErrAfterSync.AddDuration(err)
+		// Kick off a path-delay measurement for the next round.
+		s.reqSent = now
+		d.net.Send(network.Message{
+			ID: d.cfg.BaseID + 2, Src: s.name, Dst: d.master, Class: network.ClassControl,
+			Bytes:   d.cfg.MsgBytes,
+			Payload: syncMsg{kind: kindDelayReq, from: s.name},
+		})
+	case kindDelayResp:
+		// Round trip = now − reqSent (perfect-time RTT is what the wire
+		// produced; the slave actually measures in local time, but over
+		// one RTT the drift contribution is negligible and modeled away).
+		rtt := now.Sub(s.reqSent)
+		s.pathDelay = rtt / 2
+	}
+}

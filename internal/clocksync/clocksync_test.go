@@ -1,0 +1,118 @@
+package clocksync
+
+import (
+	"testing"
+
+	"dynaplat/internal/sim"
+	"dynaplat/internal/tsn"
+)
+
+func ms(n int64) sim.Duration { return sim.Duration(n) * sim.Millisecond }
+
+func TestClockModel(t *testing.T) {
+	// +1ms offset, +100ppm drift.
+	c := NewClock(ms(1), 100_000)
+	if e := c.Error(0); e != ms(1) {
+		t.Errorf("error at 0 = %v, want 1ms", e)
+	}
+	// After 10 virtual seconds, drift adds 1ms.
+	at := sim.Time(10 * sim.Second)
+	if e := c.Error(at); e < ms(1)+900*sim.Microsecond || e > ms(1)+1100*sim.Microsecond {
+		t.Errorf("error at 10s = %v, want ~2ms", e)
+	}
+	c.Step(c.Error(at))
+	if e := c.Error(at); e != 0 {
+		t.Errorf("after step error = %v", e)
+	}
+}
+
+func newDomain(t *testing.T) (*sim.Kernel, *Domain) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	net := tsn.New(k, tsn.DefaultConfig("bb"))
+	d := NewDomain(k, net, "gm", DefaultConfig())
+	return k, d
+}
+
+func TestSyncDisciplinesDriftingClocks(t *testing.T) {
+	k, d := newDomain(t)
+	// Badly wrong slaves: 5ms initial offset, ±50ppm drift.
+	c1 := NewClock(5*ms(1), 50_000)
+	c2 := NewClock(-3*ms(1), -50_000)
+	if err := d.AddSlave("zone1", c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSlave("zone2", c2); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	k.RunUntil(sim.Time(5 * sim.Second))
+	if d.Rounds < 35 {
+		t.Fatalf("rounds = %d", d.Rounds)
+	}
+	for _, name := range []string{"zone1", "zone2"} {
+		e, err := d.SlaveError(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < 0 {
+			e = -e
+		}
+		// Between syncs a 50ppm clock drifts 6.25us per 125ms round; the
+		// steady-state error must be in that order, nowhere near the
+		// initial milliseconds.
+		if e > 100*sim.Microsecond {
+			t.Errorf("%s residual error = %v", name, e)
+		}
+	}
+	// Post-correction errors must shrink dramatically after round one.
+	s := d.ErrAfterSync("zone1")
+	if s.Count() < 30 {
+		t.Fatalf("samples = %d", s.Count())
+	}
+	if late := s.Percentile(50); late > float64(50*sim.Microsecond) {
+		t.Errorf("median post-sync error = %v", sim.Duration(late))
+	}
+}
+
+func TestUnsyncedClockKeepsDrifting(t *testing.T) {
+	k, d := newDomain(t)
+	c := NewClock(0, 100_000)
+	d.AddSlave("zone1", c)
+	// Never call Start.
+	k.RunUntil(sim.Time(10 * sim.Second))
+	e, _ := d.SlaveError("zone1")
+	if e < 900*sim.Microsecond {
+		t.Errorf("unsynced error = %v, want ~1ms of drift", e)
+	}
+}
+
+func TestStopHaltsRounds(t *testing.T) {
+	k, d := newDomain(t)
+	d.AddSlave("zone1", NewClock(ms(1), 0))
+	d.Start()
+	k.RunUntil(sim.Time(sim.Second))
+	d.Stop()
+	r := d.Rounds
+	k.RunUntil(sim.Time(2 * sim.Second))
+	if d.Rounds != r {
+		t.Error("rounds grew after Stop")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	_, d := newDomain(t)
+	if err := d.AddSlave("gm", NewClock(0, 0)); err == nil {
+		t.Error("grandmaster registered as slave")
+	}
+	d.AddSlave("z", NewClock(0, 0))
+	if err := d.AddSlave("z", NewClock(0, 0)); err == nil {
+		t.Error("duplicate slave accepted")
+	}
+	if _, err := d.SlaveError("ghost"); err == nil {
+		t.Error("unknown slave accepted")
+	}
+	if s := d.ErrAfterSync("ghost"); s.Count() != 0 {
+		t.Error("ghost sample non-empty")
+	}
+}

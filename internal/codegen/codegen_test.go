@@ -1,0 +1,148 @@
+package codegen
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"dynaplat/internal/model"
+)
+
+func demoSys() *model.System {
+	return model.MustParse(`
+system Demo
+ecu CPM cpu=200MHz mem=2MB mmu os=rtos
+network BB type=ethernet rate=100Mbps attach=CPM
+app Brake kind=da asil=D period=10ms wcet=2ms deadline=10ms mem=64KB on=CPM
+app Dash kind=nda mem=1MB on=CPM
+iface BrakeStatus owner=Brake paradigm=event payload=16B period=10ms net=BB
+iface BrakeCmd owner=Brake paradigm=message payload=8B period=100ms latency=20ms net=BB
+bind Dash -> BrakeStatus
+`)
+}
+
+// mustParse asserts the generated source is valid Go.
+func mustParse(t *testing.T, src string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestGenerateDeterministicApp(t *testing.T) {
+	src, err := GenerateApp(demoSys(), "Brake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustParse(t, src)
+	for _, want := range []string{
+		"package brake",
+		"Period   = sim.Duration(10000000)",
+		"WCET     = sim.Duration(2000000)",
+		"type Brake struct",
+		`ep.Offer("BrakeStatus"`,
+		"network.ClassControl",
+		`ep.Offer("BrakeCmd"`,
+		"Handler: a.handleBrakeCmd",
+		"func (a *Brake) Activate(job int64)",
+		`a.ep.Publish("BrakeStatus", 16, nil)`,
+		"func (a *Brake) handleBrakeCmd(req any) (int, any, sim.Duration)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestGenerateConsumerApp(t *testing.T) {
+	src, err := GenerateApp(demoSys(), "Dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustParse(t, src)
+	for _, want := range []string{
+		"package dash",
+		`ep.Subscribe("BrakeStatus", a.onBrakeStatus)`,
+		"func (a *Dash) onBrakeStatus(ev soa.Event)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+	// NDAs carry no timing contract.
+	if strings.Contains(src, "Period   =") {
+		t.Error("NDA stub has a timing contract")
+	}
+}
+
+func TestGenerateUnknownApp(t *testing.T) {
+	if _, err := GenerateApp(demoSys(), "Ghost"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	files, err := GenerateAll(demoSys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("files = %v", keys(files))
+	}
+	for path, src := range files {
+		if !strings.HasPrefix(path, "gen/") || !strings.HasSuffix(path, ".go") {
+			t.Errorf("odd path %q", path)
+		}
+		mustParse(t, src)
+	}
+}
+
+func keys(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestIdentifierMangling(t *testing.T) {
+	cases := map[string]string{
+		"brake":        "Brake",
+		"park-assist":  "ParkAssist",
+		"ctl00.status": "Ctl00Status",
+		"brake@2":      "Brake2",
+		"":             "App",
+		"___":          "App",
+		"ADAS":         "ADAS",
+	}
+	for in, want := range cases {
+		if got := identifier(in); got != want {
+			t.Errorf("identifier(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if packageName("Park-Assist!") != "parkassist" {
+		t.Errorf("packageName = %q", packageName("Park-Assist!"))
+	}
+	if packageName("!!!") != "app" {
+		t.Errorf("packageName fallback = %q", packageName("!!!"))
+	}
+}
+
+func TestMiddlewareConfig(t *testing.T) {
+	cfg := MiddlewareConfig(demoSys())
+	for _, want := range []string{
+		"network BB kind=ethernet rate=100000000bps mtu=1400",
+		"service BrakeStatus owner=Brake paradigm=event net=BB version=1",
+		"BrakeStatus: Dash",
+	} {
+		if !strings.Contains(cfg, want) {
+			t.Errorf("config missing %q:\n%s", want, cfg)
+		}
+	}
+	// Deterministic output.
+	if cfg != MiddlewareConfig(demoSys()) {
+		t.Error("config not deterministic")
+	}
+}

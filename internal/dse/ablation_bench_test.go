@@ -1,0 +1,34 @@
+package dse
+
+// Ablation A5 (DESIGN.md §4): the simulated-annealing cooling schedule.
+// Faster cooling converges quicker but risks worse optima; the reported
+// cost metric exposes the solution-quality side.
+
+import (
+	"fmt"
+	"testing"
+
+	"dynaplat/internal/sim"
+	"dynaplat/internal/workload"
+)
+
+func BenchmarkA5Cooling(b *testing.B) {
+	sys := workload.Fleet(sim.NewRNG(77), 5, 16, 2, 2, 1.2)
+	w := DefaultWeights()
+	for _, cooling := range []float64{0.80, 0.95, 0.99} {
+		cooling := cooling
+		b.Run(fmt.Sprintf("cool=%.2f", cooling), func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultAnnealConfig()
+				cfg.Cooling = cooling
+				res := Anneal(sys, w, cfg)
+				if !res.Feasible {
+					b.Fatal("infeasible")
+				}
+				cost = res.Cost.Total
+			}
+			b.ReportMetric(cost, "cost")
+		})
+	}
+}

@@ -1,0 +1,350 @@
+// Package dse implements design-space exploration over the system model
+// (Section 2.3 and references [9, 14]): mapping applications to ECUs
+// under resource, safety and schedulability constraints, optimizing cost,
+// load and communication locality. It provides exhaustive search (exact
+// but exponential), a best-fit-decreasing greedy heuristic, and simulated
+// annealing, plus whole-design-space variant verification ("it needs to
+// be ensured that every possible mapping is functional").
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/sched"
+	"dynaplat/internal/sim"
+)
+
+// Weights blends the objective components into a scalar cost.
+type Weights struct {
+	// ECUCost weights the summed Cost of ECUs that host at least one app
+	// (consolidation pressure: empty ECUs can be removed from the car).
+	ECUCost float64
+	// MaxUtil weights the peak deterministic CPU utilization (headroom).
+	MaxUtil float64
+	// CrossComm weights cross-ECU communication load in Mbps (locality).
+	CrossComm float64
+}
+
+// DefaultWeights returns a balanced objective.
+func DefaultWeights() Weights { return Weights{ECUCost: 1, MaxUtil: 20, CrossComm: 0.5} }
+
+// Cost is an evaluated objective, with its components kept visible.
+type Cost struct {
+	ECUCost   int
+	UsedECUs  int
+	MaxUtil   float64
+	CrossMbps float64
+	Total     float64
+}
+
+// Evaluate scores a fully placed system. ok is false when the placement
+// is infeasible (validation errors or an unschedulable ECU).
+func Evaluate(sys *model.System, w Weights) (Cost, bool) {
+	if rep := model.Validate(sys); !rep.OK() {
+		return Cost{Total: math.Inf(1)}, false
+	}
+	var c Cost
+	for _, e := range sys.ECUs {
+		apps := sys.AppsOn(e.Name)
+		if len(apps) == 0 {
+			continue
+		}
+		c.UsedECUs++
+		c.ECUCost += e.Cost
+		u := sys.ECUUtilization(e)
+		if u > c.MaxUtil {
+			c.MaxUtil = u
+		}
+		// Exact schedulability of the deterministic set on this ECU.
+		var tasks []sched.Task
+		for _, a := range apps {
+			if a.Kind != model.Deterministic {
+				continue
+			}
+			tasks = append(tasks, sched.Task{
+				Name: a.Name, Period: a.Period,
+				WCET: e.ScaledWCET(a.WCET), Deadline: a.Deadline, Jitter: a.Jitter,
+			})
+		}
+		if len(tasks) > 0 {
+			if _, ok, err := sched.ResponseTimeAnalysis(tasks); err != nil || !ok {
+				// RTA is sufficient-only under DM; fall back to exact
+				// EDF synthesis before declaring infeasibility.
+				if _, err := sched.Synthesize(tasks, sim.Millisecond); err != nil {
+					return Cost{Total: math.Inf(1)}, false
+				}
+			}
+		}
+	}
+	// Cross-ECU communication load.
+	for _, b := range sys.Bindings {
+		ifc := sys.Interface(b.Interface)
+		if ifc == nil {
+			continue
+		}
+		pEcu, pOK := sys.Placement[ifc.Owner]
+		cEcu, cOK := sys.Placement[b.Client]
+		if pOK && cOK && pEcu != cEcu {
+			c.CrossMbps += ifc.NominalBitsPerSecond() / 1e6
+		}
+	}
+	c.Total = w.ECUCost*float64(c.ECUCost) + w.MaxUtil*c.MaxUtil + w.CrossComm*c.CrossMbps
+	return c, true
+}
+
+// candidates returns the ECUs an app may map to.
+func candidates(sys *model.System, a *model.App) []string {
+	if len(a.Candidates) > 0 {
+		return a.Candidates
+	}
+	out := make([]string, 0, len(sys.ECUs))
+	for _, e := range sys.ECUs {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+// Result is one exploration outcome.
+type Result struct {
+	Placement map[string]string
+	Cost      Cost
+	Feasible  bool
+	// Evaluated counts objective evaluations performed.
+	Evaluated int64
+}
+
+// ErrBudget reports that exhaustive search exceeded its evaluation budget.
+var ErrBudget = fmt.Errorf("dse: evaluation budget exhausted")
+
+// Exhaustive enumerates every candidate placement of the system's apps
+// and returns the optimum. budget bounds objective evaluations (0 means
+// 10 million); exceeding it returns ErrBudget with the best found so far.
+func Exhaustive(sys *model.System, w Weights, budget int64) (Result, error) {
+	if budget <= 0 {
+		budget = 10_000_000
+	}
+	apps := append([]*model.App(nil), sys.Apps...)
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Name < apps[j].Name })
+	work := sys.Clone()
+	best := Result{Cost: Cost{Total: math.Inf(1)}}
+	var overBudget bool
+
+	var recurse func(i int) bool
+	recurse = func(i int) bool {
+		if i == len(apps) {
+			best.Evaluated++
+			if best.Evaluated > budget {
+				overBudget = true
+				return false
+			}
+			c, ok := Evaluate(work, w)
+			if ok && c.Total < best.Cost.Total {
+				best.Cost = c
+				best.Feasible = true
+				best.Placement = clonePlacement(work.Placement)
+			}
+			return true
+		}
+		for _, ecu := range candidates(work, work.App(apps[i].Name)) {
+			work.Placement[apps[i].Name] = ecu
+			if !recurse(i + 1) {
+				return false
+			}
+		}
+		delete(work.Placement, apps[i].Name)
+		return true
+	}
+	recurse(0)
+	if overBudget {
+		return best, ErrBudget
+	}
+	return best, nil
+}
+
+// Greedy places apps best-fit-decreasing: apps sorted by descending
+// utilization then memory, each onto the feasible candidate ECU that
+// minimizes the incremental objective.
+func Greedy(sys *model.System, w Weights) Result {
+	work := sys.Clone()
+	for _, a := range work.Apps {
+		delete(work.Placement, a.Name)
+	}
+	apps := append([]*model.App(nil), work.Apps...)
+	sort.SliceStable(apps, func(i, j int) bool {
+		ui, uj := apps[i].Utilization(), apps[j].Utilization()
+		if ui != uj {
+			return ui > uj
+		}
+		if apps[i].MemoryKB != apps[j].MemoryKB {
+			return apps[i].MemoryKB > apps[j].MemoryKB
+		}
+		return apps[i].Name < apps[j].Name
+	})
+	res := Result{}
+	for _, a := range apps {
+		bestECU := ""
+		bestCost := math.Inf(1)
+		for _, ecu := range candidates(work, a) {
+			work.Placement[a.Name] = ecu
+			res.Evaluated++
+			if c, ok := evaluatePartial(work, w); ok && c.Total < bestCost {
+				bestCost = c.Total
+				bestECU = ecu
+			}
+		}
+		if bestECU == "" {
+			delete(work.Placement, a.Name)
+			return Result{Feasible: false, Evaluated: res.Evaluated, Cost: Cost{Total: math.Inf(1)}}
+		}
+		work.Placement[a.Name] = bestECU
+	}
+	c, ok := Evaluate(work, w)
+	res.Evaluated++
+	res.Cost = c
+	res.Feasible = ok
+	res.Placement = clonePlacement(work.Placement)
+	return res
+}
+
+// evaluatePartial scores a partially placed system: validation must hold
+// for the placed subset (model.Validate skips unplaced apps).
+func evaluatePartial(sys *model.System, w Weights) (Cost, bool) {
+	return Evaluate(sys, w)
+}
+
+// AnnealConfig tunes simulated annealing (ablation A5).
+type AnnealConfig struct {
+	// Iterations is the total number of neighbor proposals.
+	Iterations int
+	// T0 is the initial temperature; Cooling the geometric factor applied
+	// every CoolEvery iterations.
+	T0        float64
+	Cooling   float64
+	CoolEvery int
+	Seed      uint64
+}
+
+// DefaultAnnealConfig returns a robust schedule for ≤ 50-app problems.
+func DefaultAnnealConfig() AnnealConfig {
+	return AnnealConfig{Iterations: 5000, T0: 50, Cooling: 0.95, CoolEvery: 100, Seed: 1}
+}
+
+// Anneal runs simulated annealing from the greedy solution (or a random
+// feasible one when greedy fails).
+func Anneal(sys *model.System, w Weights, cfg AnnealConfig) Result {
+	rng := sim.NewRNG(cfg.Seed)
+	work := sys.Clone()
+	res := Greedy(sys, w)
+	if res.Feasible {
+		work.Placement = clonePlacement(res.Placement)
+	} else {
+		// Random restart.
+		for _, a := range work.Apps {
+			cs := candidates(work, a)
+			work.Placement[a.Name] = cs[rng.Intn(len(cs))]
+		}
+	}
+	cur, curOK := Evaluate(work, w)
+	res.Evaluated++
+	best := Result{Placement: clonePlacement(work.Placement), Cost: cur, Feasible: curOK,
+		Evaluated: res.Evaluated}
+
+	apps := append([]*model.App(nil), work.Apps...)
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Name < apps[j].Name })
+	if len(apps) == 0 {
+		return best
+	}
+	temp := cfg.T0
+	for it := 0; it < cfg.Iterations; it++ {
+		if cfg.CoolEvery > 0 && it > 0 && it%cfg.CoolEvery == 0 {
+			temp *= cfg.Cooling
+		}
+		a := apps[rng.Intn(len(apps))]
+		cs := candidates(work, a)
+		old := work.Placement[a.Name]
+		next := cs[rng.Intn(len(cs))]
+		if next == old {
+			continue
+		}
+		work.Placement[a.Name] = next
+		cand, ok := Evaluate(work, w)
+		best.Evaluated++
+		accept := false
+		switch {
+		case ok && (!curOK || cand.Total <= cur.Total):
+			accept = true
+		case ok && temp > 0:
+			accept = rng.Float64() < math.Exp((cur.Total-cand.Total)/temp)
+		}
+		if accept {
+			cur, curOK = cand, ok
+			if ok && (!best.Feasible || cand.Total < best.Cost.Total) {
+				best.Cost = cand
+				best.Feasible = true
+				best.Placement = clonePlacement(work.Placement)
+			}
+		} else {
+			work.Placement[a.Name] = old
+		}
+	}
+	return best
+}
+
+// VariantReport summarizes whole-space verification (Section 2.3: every
+// possible mapping that may be chosen in the field must be functional,
+// safe and secure).
+type VariantReport struct {
+	Total      int64
+	Feasible   int64
+	Infeasible int64
+	Truncated  bool
+}
+
+// VerifyAllVariants validates every candidate placement, up to limit
+// combinations (0 means 1 million).
+func VerifyAllVariants(sys *model.System, w Weights, limit int64) VariantReport {
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	apps := append([]*model.App(nil), sys.Apps...)
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Name < apps[j].Name })
+	work := sys.Clone()
+	rep := VariantReport{}
+	var recurse func(i int) bool
+	recurse = func(i int) bool {
+		if i == len(apps) {
+			rep.Total++
+			if rep.Total > limit {
+				rep.Truncated = true
+				rep.Total--
+				return false
+			}
+			if _, ok := Evaluate(work, w); ok {
+				rep.Feasible++
+			} else {
+				rep.Infeasible++
+			}
+			return true
+		}
+		for _, ecu := range candidates(work, work.App(apps[i].Name)) {
+			work.Placement[apps[i].Name] = ecu
+			if !recurse(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	recurse(0)
+	return rep
+}
+
+func clonePlacement(p map[string]string) map[string]string {
+	out := make(map[string]string, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package dse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynaplat/internal/sim"
+	"dynaplat/internal/workload"
+)
+
+func TestParetoFrontSmallExhaustive(t *testing.T) {
+	sys := smallSystem()
+	front := ParetoFront(sys, 0, 1)
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	// Mutual non-domination.
+	for i := range front {
+		for j := range front {
+			if i != j && dominates(front[i].Cost, front[j].Cost) {
+				t.Errorf("front[%d] dominates front[%d]", i, j)
+			}
+		}
+	}
+	// Sorted by ECU cost.
+	for i := 1; i < len(front); i++ {
+		if front[i].Cost.ECUCost < front[i-1].Cost.ECUCost {
+			t.Error("front not sorted by cost")
+		}
+	}
+	// The scalarized optimum must be weakly dominated by some front point
+	// in each objective direction; in particular the min-ECU-cost point
+	// on the front cannot cost more than the scalar optimum's ECU cost.
+	opt, err := Exhaustive(sys, DefaultWeights(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front[0].Cost.ECUCost > opt.Cost.ECUCost {
+		t.Errorf("front min ECU cost %d > scalar optimum %d",
+			front[0].Cost.ECUCost, opt.Cost.ECUCost)
+	}
+}
+
+func TestParetoFrontSamplingFallback(t *testing.T) {
+	rng := sim.NewRNG(5)
+	big := workload.Fleet(rng, 5, 20, 2, 2, 1.0)
+	front := ParetoFront(big, 2000, 7)
+	if len(front) == 0 {
+		t.Fatal("sampling found nothing feasible")
+	}
+	for i := range front {
+		for j := range front {
+			if i != j && dominates(front[i].Cost, front[j].Cost) {
+				t.Error("front contains dominated point")
+			}
+		}
+	}
+	// Deterministic per seed.
+	front2 := ParetoFront(big, 2000, 7)
+	if len(front) != len(front2) {
+		t.Errorf("sampling not deterministic: %d vs %d points", len(front), len(front2))
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Cost{ECUCost: 10, MaxUtil: 0.5, CrossMbps: 1}
+	b := Cost{ECUCost: 20, MaxUtil: 0.5, CrossMbps: 1}
+	if !dominates(a, b) || dominates(b, a) {
+		t.Error("simple domination wrong")
+	}
+	c := Cost{ECUCost: 5, MaxUtil: 0.9, CrossMbps: 1}
+	if dominates(a, c) || dominates(c, a) {
+		t.Error("trade-off points must not dominate each other")
+	}
+	if dominates(a, a) {
+		t.Error("point dominates itself")
+	}
+}
+
+func TestInsertNonDominatedProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		var front []ParetoPoint
+		for i := 0; i < 50; i++ {
+			p := ParetoPoint{Cost: Cost{
+				ECUCost:   rng.Range(1, 10) * 10,
+				MaxUtil:   float64(rng.Range(1, 10)) / 10,
+				CrossMbps: float64(rng.Range(0, 5)),
+			}}
+			front = insertNonDominated(front, p)
+		}
+		for i := range front {
+			for j := range front {
+				if i != j && dominates(front[i].Cost, front[j].Cost) {
+					return false
+				}
+			}
+		}
+		return len(front) >= 1
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynaplat/internal/can"
+	"dynaplat/internal/clocksync"
+	"dynaplat/internal/dse"
+	"dynaplat/internal/gateway"
+	"dynaplat/internal/network"
+	"dynaplat/internal/sim"
+	"dynaplat/internal/soa"
+	"dynaplat/internal/tsn"
+	"dynaplat/internal/workload"
+)
+
+// Supplementary experiments: claims the paper makes in passing whose
+// substrates this repository also implements. EXPERIMENTS.md lists them
+// after the primary E1–E15 set.
+
+func init() {
+	register("E16", runE16)
+	register("E17", runE17)
+	register("E18", runE18)
+	register("E19", runE19)
+	register("E20", runE20)
+}
+
+// E16 — §3.2 / §5.3: "high accuracy clock synchronization is required"
+// for a central switch; gPTP-style sync bounds the residual error.
+func runE16() *Table {
+	t := &Table{
+		ID: "E16", Title: "Clock synchronization accuracy vs sync period",
+		Source:  "§3.2, §5.3 (802.1AS substrate)",
+		Columns: []string{"sync-period", "residual-p50", "residual-p100", "unsynced-drift@10s"},
+		Expectation: "residual error scales with the sync period and stays " +
+			"orders of magnitude below free-running drift",
+	}
+	run := func(period sim.Duration) (p50, p100 sim.Duration) {
+		k := sim.NewKernel(31)
+		net := tsn.New(k, tsn.DefaultConfig("bb"))
+		cfg := clocksync.DefaultConfig()
+		cfg.SyncPeriod = period
+		d := clocksync.NewDomain(k, net, "gm", cfg)
+		d.AddSlave("zone", clocksync.NewClock(5*sim.Millisecond, 80_000)) // 80ppm
+		d.Start()
+		// Sample |error| at arbitrary instants after a warm-up — between
+		// syncs the clock free-runs, so this captures the
+		// period-dependent worst case in steady state.
+		var errs sim.Sample
+		k.Every(sim.Time(sim.Second+2*period), 7*sim.Millisecond, func() {
+			e, _ := d.SlaveError("zone")
+			if e < 0 {
+				e = -e
+			}
+			errs.AddDuration(e)
+		})
+		k.RunUntil(sim.Time(10 * sim.Second))
+		return errs.PercentileDuration(50), errs.PercentileDuration(100)
+	}
+	free := clocksync.NewClock(0, 80_000).Error(sim.Time(10 * sim.Second))
+	t.Holds = true
+	var prev sim.Duration
+	for _, period := range []sim.Duration{31_250 * sim.Microsecond,
+		125 * sim.Millisecond, 500 * sim.Millisecond} {
+		p50, p100 := run(period)
+		t.AddRow(period.String(), p50.String(), p100.String(), free.String())
+		if p100 >= free/10 {
+			t.Holds = false
+		}
+		if p100 < prev {
+			// Longer sync periods must not tighten the worst case:
+			// drift accumulates for longer between corrections.
+			t.Holds = false
+		}
+		prev = p100
+	}
+	return t
+}
+
+// E17 — §3 safety of dynamic communication: E2E protection detects every
+// channel fault class.
+func runE17() *Table {
+	t := &Table{
+		ID: "E17", Title: "End-to-end protection coverage",
+		Source:  "§3 (E2E substrate), AUTOSAR-E2E style",
+		Columns: []string{"fault-injected", "messages", "detected", "false-accepts"},
+		Expectation: "corruption, loss, repetition and masquerade all " +
+			"detected; zero faulty payloads accepted as OK",
+	}
+	const n = 1000
+	t.Holds = true
+
+	// none: clean channel, everything OK.
+	{
+		tx := &soa.E2ESender{DataID: 7}
+		rx := &soa.E2EReceiver{DataID: 7}
+		for i := 0; i < n; i++ {
+			if st, _ := rx.Check(tx.Protect([]byte{byte(i)})); st != soa.E2EOK {
+				t.Holds = false
+			}
+		}
+		t.AddRow("none", itoa(n), fmt.Sprintf("%d/0", 0), itoa(rx.WrongCRC+rx.Loss+rx.Repetition))
+	}
+	// bit corruption: 5% of messages get one flipped bit; every one must
+	// be flagged (never OK).
+	{
+		rng := sim.NewRNG(41)
+		tx := &soa.E2ESender{DataID: 7}
+		rx := &soa.E2EReceiver{DataID: 7}
+		faults, detected, falseAccepts := 0, 0, 0
+		for i := 0; i < n; i++ {
+			buf := tx.Protect([]byte{byte(i)})
+			if rng.Bool(0.05) {
+				faults++
+				b := append([]byte(nil), buf...)
+				bit := rng.Intn(len(b) * 8)
+				b[bit/8] ^= 1 << (bit % 8)
+				if st, _ := rx.Check(b); st == soa.E2EOK {
+					falseAccepts++
+				} else {
+					detected++
+				}
+				// The genuine message still arrives afterwards; a
+				// corrupted predecessor must not poison it (CRC fails
+				// before the counter advances). Loss flags are fine.
+				rx.Check(buf)
+				continue
+			}
+			rx.Check(buf)
+		}
+		t.AddRow("bit-corruption(5%)", itoa(n), fmt.Sprintf("%d/%d", detected, faults),
+			itoa(int64(falseAccepts)))
+		if falseAccepts > 0 || detected != faults {
+			t.Holds = false
+		}
+	}
+	// loss: 5% of messages dropped; every gap must be flagged on the
+	// next delivery.
+	{
+		rng := sim.NewRNG(42)
+		tx := &soa.E2ESender{DataID: 7}
+		rx := &soa.E2EReceiver{DataID: 7}
+		gaps, detected, falseAccepts := 0, 0, 0
+		pending := false
+		for i := 0; i < n; i++ {
+			buf := tx.Protect([]byte{byte(i)})
+			if rng.Bool(0.05) {
+				if !pending {
+					gaps++ // one episode, however many consecutive drops
+				}
+				pending = true
+				continue
+			}
+			st, _ := rx.Check(buf)
+			if pending {
+				if st == soa.E2ELoss {
+					detected++
+				} else {
+					falseAccepts++
+				}
+				pending = false
+			} else if st != soa.E2EOK {
+				falseAccepts++
+			}
+		}
+		if pending {
+			gaps-- // trailing drop has no successor to reveal it
+		}
+		t.AddRow("loss(5%)", itoa(n), fmt.Sprintf("%d/%d", detected, gaps),
+			itoa(int64(falseAccepts)))
+		if falseAccepts > 0 || detected != gaps {
+			t.Holds = false
+		}
+	}
+	// duplication: 5% of messages delivered twice; the duplicate must be
+	// flagged as repetition.
+	{
+		rng := sim.NewRNG(43)
+		tx := &soa.E2ESender{DataID: 7}
+		rx := &soa.E2EReceiver{DataID: 7}
+		dups, detected, falseAccepts := 0, 0, 0
+		for i := 0; i < n; i++ {
+			buf := tx.Protect([]byte{byte(i)})
+			rx.Check(buf)
+			if rng.Bool(0.05) {
+				dups++
+				if st, _ := rx.Check(buf); st == soa.E2ERepetition {
+					detected++
+				} else {
+					falseAccepts++
+				}
+			}
+		}
+		t.AddRow("duplication(5%)", itoa(n), fmt.Sprintf("%d/%d", detected, dups),
+			itoa(int64(falseAccepts)))
+		if falseAccepts > 0 || detected != dups {
+			t.Holds = false
+		}
+	}
+	// masquerade: messages of a foreign stream must be flagged WrongID.
+	{
+		foreign := &soa.E2ESender{DataID: 99}
+		rx := &soa.E2EReceiver{DataID: 7}
+		detected := 0
+		for i := 0; i < 50; i++ {
+			if st, _ := rx.Check(foreign.Protect([]byte{1})); st == soa.E2EWrongID {
+				detected++
+			}
+		}
+		t.AddRow("masquerade", "50", fmt.Sprintf("%d/50", detected), itoa(50-int64(detected)))
+		if detected != 50 {
+			t.Holds = false
+		}
+	}
+	return t
+}
+
+// E18 — Figure 1: legacy domains keep talking to the new backbone through
+// a gateway; what does the bridge cost?
+func runE18() *Table {
+	t := &Table{
+		ID: "E18", Title: "Legacy CAN domain bridged to the TSN backbone",
+		Source:  "Fig. 1 (gateway substrate)",
+		Columns: []string{"path", "mean-latency", "p100-latency"},
+		Expectation: "bridged path ≈ CAN segment + gateway + TSN segment; " +
+			"native TSN path is an order of magnitude faster",
+	}
+	k := sim.NewKernel(43)
+	bus := can.New(k, can.Config{Name: "body", BitsPerSecond: 500_000})
+	net := tsn.New(k, tsn.DefaultConfig("bb"))
+	gw := gateway.New(k, gateway.Config{Name: "gw", ProcDelay: 100 * sim.Microsecond})
+	gw.AttachPort(bus, can.MaxPayload)
+	gw.AttachPort(net, 1400)
+	gw.AddRoute(gateway.Route{FromNet: "body", ToNet: "bb", ID: 0x100, Dst: "head"})
+
+	bus.Attach("sensor", func(network.Delivery) {})
+	net.Attach("cam", func(network.Delivery) {})
+	var bridged, native sim.Sample
+	// The network Delivery only covers the last hop; end-to-end latency
+	// rides in the payload as the original send timestamp (the gateway
+	// forwards payloads untouched).
+	net.Attach("head", func(d network.Delivery) {
+		sent, ok := d.Msg.Payload.(sim.Time)
+		if !ok {
+			return
+		}
+		switch d.Msg.ID {
+		case 0x100:
+			bridged.AddDuration(k.Now().Sub(sent))
+		case 0x200:
+			native.AddDuration(k.Now().Sub(sent))
+		}
+	})
+	k.Every(0, 10*sim.Millisecond, func() {
+		bus.Send(network.Message{ID: 0x100, Src: "sensor", Bytes: 8, Payload: k.Now()})
+		net.Send(network.Message{ID: 0x200, Src: "cam", Dst: "head",
+			Class: network.ClassPriority, Bytes: 8, Payload: k.Now()})
+	})
+	k.RunUntil(sim.Time(2 * sim.Second))
+
+	t.AddRow("CAN→gw→TSN", sim.Duration(bridged.Mean()).String(),
+		bridged.PercentileDuration(100).String())
+	t.AddRow("native TSN", sim.Duration(native.Mean()).String(),
+		native.PercentileDuration(100).String())
+	t.Holds = bridged.Count() > 100 && native.Count() > 100 &&
+		bridged.Mean() > 10*native.Mean()
+	return t
+}
+
+// E19 — §4.2 dynamic binding: the wire cost of runtime service discovery.
+func runE19() *Table {
+	t := &Table{
+		ID: "E19", Title: "Runtime service discovery (find/offer) latency",
+		Source:  "§2.1/§4.2 (SOME/IP-SD substrate)",
+		Columns: []string{"network", "provider", "found", "rtt"},
+		Expectation: "local answers are ~IPC; remote discovery pays a full " +
+			"wire round trip, far larger on CAN FD than on TSN; unknown " +
+			"services time out",
+	}
+	var tsnRemote, tsnLocal, canRemote sim.Duration
+	var missFound bool
+
+	// TSN rig.
+	{
+		k := sim.NewKernel(47)
+		net := tsn.New(k, tsn.DefaultConfig("net"))
+		mw := soa.New(k, nil)
+		mw.AddNetwork(net, 1400)
+		mw.Endpoint("p", "ecu1").Offer("S", soa.OfferOpts{Network: "net"})
+		mw.Endpoint("c", "ecu2").Discover("S", sim.Second, func(r soa.DiscoveryResult) {
+			tsnRemote = r.RTT
+		})
+		mw.Endpoint("l", "ecu1").Discover("S", sim.Second, func(r soa.DiscoveryResult) {
+			tsnLocal = r.RTT
+		})
+		mw.Endpoint("c", "ecu2").Discover("Missing", 50*sim.Millisecond,
+			func(r soa.DiscoveryResult) { missFound = r.Found })
+		k.Run()
+	}
+	// CAN FD rig.
+	{
+		k := sim.NewKernel(47)
+		bus := can.NewFD(k, can.Config{Name: "net", BitsPerSecond: 500_000}, 2_000_000)
+		mw := soa.New(k, nil)
+		mw.AddNetwork(bus, can.MaxPayloadFD)
+		mw.Endpoint("p", "ecu1").Offer("S", soa.OfferOpts{Network: "net"})
+		mw.Endpoint("c", "ecu2").Discover("S", sim.Second, func(r soa.DiscoveryResult) {
+			canRemote = r.RTT
+		})
+		k.Run()
+	}
+	t.AddRow("tsn", "same-ECU", "yes", tsnLocal.String())
+	t.AddRow("tsn", "remote", "yes", tsnRemote.String())
+	t.AddRow("canfd", "remote", "yes", canRemote.String())
+	t.AddRow("tsn", "none (timeout)", boolStr(missFound), "50ms")
+	t.Holds = tsnLocal == 0 && tsnRemote > 0 && canRemote > 5*tsnRemote && !missFound
+	return t
+}
+
+// E20 — §2.3 / [14]: multi-objective exploration yields the trade-off
+// front, not just one point.
+func runE20() *Table {
+	t := &Table{
+		ID: "E20", Title: "Pareto front over (ECU cost, peak util, cross traffic)",
+		Source:  "§2.3, [14]",
+		Columns: []string{"point", "ecu-cost", "max-util", "cross-mbps"},
+		Expectation: "front contains ≥ 2 mutually non-dominated points: " +
+			"cheaper deployments run hotter or chattier",
+	}
+	rng := sim.NewRNG(53)
+	sys := workload.Fleet(rng, 4, 8, 0, 1, 1.0)
+	front := dse.ParetoFront(sys, 0, 1)
+	for i, p := range front {
+		t.AddRow(fmt.Sprintf("#%d", i+1), itoa(int64(p.Cost.ECUCost)),
+			f2(p.Cost.MaxUtil), f2(p.Cost.CrossMbps))
+	}
+	t.Holds = len(front) >= 2
+	// Verify mutual non-domination (defensive; the dse tests prove it).
+	for i := range front {
+		for j := range front {
+			if i == j {
+				continue
+			}
+			a, b := front[i].Cost, front[j].Cost
+			if a.ECUCost <= b.ECUCost && a.MaxUtil <= b.MaxUtil &&
+				a.CrossMbps <= b.CrossMbps &&
+				(a.ECUCost < b.ECUCost || a.MaxUtil < b.MaxUtil || a.CrossMbps < b.CrossMbps) {
+				t.Holds = false
+			}
+		}
+	}
+	return t
+}

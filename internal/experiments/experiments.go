@@ -1,0 +1,156 @@
+// Package experiments contains one runner per experiment in EXPERIMENTS.md
+// (E1–E15), each reproducing a figure or claim of the paper on the
+// simulated substrate and returning a printable result table.
+//
+// The paper is a vision paper without quantitative tables; the experiment
+// definitions and the qualitative expectations they check are derived
+// from its sections as documented in DESIGN.md §3.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Source  string // the paper figure/section reproduced
+	Columns []string
+	Rows    [][]string
+	// Expectation states the qualitative paper claim this table checks.
+	Expectation string
+	// Holds reports whether the measured shape matches the expectation.
+	Holds bool
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s  [%s]\n", t.ID, t.Title, t.Source)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(sb.String(), " "))
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	verdict := "HOLDS"
+	if !t.Holds {
+		verdict = "VIOLATED"
+	}
+	fmt.Fprintf(w, "  expectation: %s → %s\n\n", t.Expectation, verdict)
+}
+
+// MarshalJSON renders the table for machine consumers (CI dashboards).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	type row map[string]string
+	rows := make([]row, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		m := row{}
+		for i, c := range r {
+			if i < len(t.Columns) {
+				m[t.Columns[i]] = c
+			}
+		}
+		rows = append(rows, m)
+	}
+	return json.Marshal(struct {
+		ID          string `json:"id"`
+		Title       string `json:"title"`
+		Source      string `json:"source"`
+		Expectation string `json:"expectation"`
+		Holds       bool   `json:"holds"`
+		Rows        []row  `json:"rows"`
+	}{t.ID, t.Title, t.Source, t.Expectation, t.Holds, rows})
+}
+
+// Runner produces one experiment table. Runners are deterministic: they
+// build their own seeded kernels.
+type Runner func() *Table
+
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// E1 < E2 < ... < E10 < E11 numeric ordering.
+		return expNum(out[i]) < expNum(out[j])
+	})
+	return out
+}
+
+func expNum(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// Run executes one experiment by ID.
+func Run(id string) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r(), nil
+}
+
+// RunAll executes every experiment in order, rendering to w.
+func RunAll(w io.Writer) []*Table {
+	var out []*Table
+	for _, id := range IDs() {
+		t := registry[id]()
+		t.Render(w)
+		out = append(out, t)
+	}
+	return out
+}
+
+// helpers shared by runners
+
+func f2(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string  { return fmt.Sprintf("%.1f%%", v*100) }
+func itoa(v int64) string   { return fmt.Sprintf("%d", v) }
+func boolStr(b bool) string { return map[bool]string{true: "yes", false: "no"}[b] }

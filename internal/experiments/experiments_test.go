@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestIDsOrderedAndComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 20 {
+		t.Fatalf("experiments = %d (%v), want 20", len(ids), ids)
+	}
+	for i, id := range ids {
+		want := i + 1
+		if expNum(id) != want {
+			t.Errorf("ids[%d] = %s, want E%d", i, id, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// Every experiment must run, produce rows, and its qualitative
+// expectation must hold — this is the repository's headline regression
+// test: the paper's claims reproduce on the simulated substrate.
+func TestAllExpectationsHold(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			if len(tbl.Columns) == 0 {
+				t.Fatal("no columns")
+			}
+			for _, r := range tbl.Rows {
+				if len(r) != len(tbl.Columns) {
+					t.Errorf("row %v has %d cells, want %d", r, len(r), len(tbl.Columns))
+				}
+			}
+			if !tbl.Holds {
+				var buf bytes.Buffer
+				tbl.Render(&buf)
+				t.Errorf("expectation violated:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	tbl := &Table{ID: "EX", Title: "T", Source: "S",
+		Columns: []string{"a", "bb"}, Expectation: "x", Holds: true}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== EX: T", "[S]", "a", "bb", "HOLDS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	tbl.Holds = false
+	buf.Reset()
+	tbl.Render(&buf)
+	if !strings.Contains(buf.String(), "VIOLATED") {
+		t.Error("violated verdict missing")
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Same binary, same seeds → identical tables.
+	for _, id := range []string{"E1", "E4", "E7"} {
+		a, _ := Run(id)
+		b, _ := Run(id)
+		var ba, bb bytes.Buffer
+		a.Render(&ba)
+		b.Render(&bb)
+		if ba.String() != bb.String() {
+			t.Errorf("%s not deterministic", id)
+		}
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tbl := &Table{ID: "EX", Title: "T", Source: "S",
+		Columns: []string{"a", "b"}, Expectation: "x", Holds: true}
+	tbl.AddRow("1", "2")
+	data, err := tbl.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID    string              `json:"id"`
+		Holds bool                `json:"holds"`
+		Rows  []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "EX" || !decoded.Holds || len(decoded.Rows) != 1 ||
+		decoded.Rows[0]["a"] != "1" || decoded.Rows[0]["b"] != "2" {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}

@@ -1,0 +1,87 @@
+package flexray
+
+import (
+	"testing"
+
+	"dynaplat/internal/network"
+	"dynaplat/internal/sim"
+)
+
+func TestPlanSlotsInterleaves(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := New(k, DefaultConfig("chassis"))
+	b.Attach("fast", func(network.Delivery) {})
+	b.Attach("slow", func(network.Delivery) {})
+	if err := PlanSlots(b, map[string]int{"fast": 3, "slow": 1}); err != nil {
+		t.Fatal(err)
+	}
+	fast := b.SlotsOf("fast")
+	slow := b.SlotsOf("slow")
+	if len(fast) != 3 || len(slow) != 1 {
+		t.Fatalf("fast=%v slow=%v", fast, slow)
+	}
+	// Interleaved: fast gets 0,2,3 and slow gets 1 (round-robin order).
+	if fast[0] != 0 || slow[0] != 1 {
+		t.Errorf("assignment fast=%v slow=%v", fast, slow)
+	}
+}
+
+func TestPlanSlotsOverDemand(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := New(k, DefaultConfig("x"))
+	if err := PlanSlots(b, map[string]int{"a": 41}); err == nil {
+		t.Error("over-demand accepted")
+	}
+	if err := PlanSlots(b, map[string]int{"a": -1}); err == nil {
+		t.Error("negative demand accepted")
+	}
+	// Zero-demand stations get nothing but don't error.
+	if err := PlanSlots(b, map[string]int{"a": 1, "b": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.SlotsOf("b")) != 0 {
+		t.Error("zero-demand station got slots")
+	}
+}
+
+func TestPlannedSlotsCarryTraffic(t *testing.T) {
+	// A 2.5ms-period publisher on a 5ms cycle needs 2 slots; with them
+	// planned, all messages ride the static segment within one cycle.
+	k := sim.NewKernel(1)
+	cfg := DefaultConfig("chassis")
+	b := New(k, cfg)
+	b.Attach("ctrl", func(network.Delivery) {})
+	var got []sim.Time
+	b.Attach("sink", func(d network.Delivery) { got = append(got, d.Delivered) })
+	period := int64(2500 * sim.Microsecond)
+	demand := cfg.DemandForPeriod(period, int64(cfg.CycleLength()))
+	if demand != 2 {
+		t.Fatalf("demand = %d, want 2", demand)
+	}
+	if err := PlanSlots(b, map[string]int{"ctrl": demand}); err != nil {
+		t.Fatal(err)
+	}
+	k.Every(0, sim.Duration(period), func() {
+		b.Send(network.Message{Class: network.ClassControl, Src: "ctrl",
+			Dst: "sink", Bytes: 16})
+	})
+	k.RunUntil(sim.Time(100 * sim.Millisecond))
+	// 40 messages in 100ms; all delivered (backlog bounded).
+	if len(got) < 38 {
+		t.Errorf("deliveries = %d, want ~40", len(got))
+	}
+	if b.StaticSent < 38 {
+		t.Errorf("static sent = %d", b.StaticSent)
+	}
+}
+
+func TestDemandForPeriodEdges(t *testing.T) {
+	cfg := DefaultConfig("x")
+	if d := cfg.DemandForPeriod(0, int64(cfg.CycleLength())); d != 1 {
+		t.Errorf("zero period demand = %d", d)
+	}
+	// Period ≫ cycle still needs one slot.
+	if d := cfg.DemandForPeriod(int64(sim.Second), int64(cfg.CycleLength())); d != 1 {
+		t.Errorf("slow demand = %d", d)
+	}
+}

@@ -1,0 +1,162 @@
+package gateway
+
+import (
+	"testing"
+
+	"dynaplat/internal/can"
+	"dynaplat/internal/network"
+	"dynaplat/internal/sim"
+	"dynaplat/internal/tsn"
+)
+
+type rig struct {
+	k   *sim.Kernel
+	bus *can.Bus
+	eth *tsn.Network
+	gw  *Gateway
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	bus := can.New(k, can.Config{Name: "body", BitsPerSecond: 500_000})
+	eth := tsn.New(k, tsn.DefaultConfig("backbone"))
+	gw := New(k, Config{Name: "gw", ProcDelay: 50 * sim.Microsecond})
+	gw.AttachPort(bus, can.MaxPayload)
+	gw.AttachPort(eth, 1400)
+	return &rig{k: k, bus: bus, eth: eth, gw: gw}
+}
+
+func TestCANToEthernetForwarding(t *testing.T) {
+	r := newRig(t)
+	if err := r.gw.AddRoute(Route{FromNet: "body", ToNet: "backbone",
+		ID: 0x100, Dst: "head"}); err != nil {
+		t.Fatal(err)
+	}
+	r.bus.Attach("sensor", func(network.Delivery) {})
+	var got []network.Delivery
+	r.eth.Attach("head", func(d network.Delivery) { got = append(got, d) })
+	r.bus.Send(network.Message{ID: 0x100, Src: "sensor", Bytes: 8, Payload: "v"})
+	r.k.Run()
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	if got[0].Msg.Src != "gw" || got[0].Msg.Payload != "v" || got[0].Msg.ID != 0x100 {
+		t.Errorf("forwarded = %+v", got[0].Msg)
+	}
+	if r.gw.Forwarded != 1 || r.gw.Dropped != 0 {
+		t.Errorf("forwarded=%d dropped=%d", r.gw.Forwarded, r.gw.Dropped)
+	}
+	// Gateway adds at least its processing delay.
+	if r.gw.AddedLatency.Min() < float64(50*sim.Microsecond) {
+		t.Errorf("added latency = %v", r.gw.AddedLatency.Min())
+	}
+}
+
+func TestEthernetToCANSegmentation(t *testing.T) {
+	// A 20-byte Ethernet message must become 3 CAN frames.
+	r := newRig(t)
+	if err := r.gw.AddRoute(Route{FromNet: "backbone", ToNet: "body",
+		ID: 0x42, Dst: "zone"}); err != nil {
+		t.Fatal(err)
+	}
+	r.eth.Attach("head", func(network.Delivery) {})
+	var frames []int
+	r.bus.Attach("zone", func(d network.Delivery) { frames = append(frames, d.Msg.Bytes) })
+	r.eth.Send(network.Message{ID: 0x42, Src: "head", Dst: "gw", Bytes: 20})
+	r.k.Run()
+	if len(frames) != 3 {
+		t.Fatalf("frames = %v, want 3 segments", frames)
+	}
+	if frames[0] != 8 || frames[1] != 8 || frames[2] != 4 {
+		t.Errorf("segment sizes = %v", frames)
+	}
+}
+
+func TestRemapIDAndClass(t *testing.T) {
+	r := newRig(t)
+	cls := network.ClassControl
+	r.gw.AddRoute(Route{FromNet: "body", ToNet: "backbone",
+		ID: 0x100, RemapID: 0x9000, RemapClass: &cls, Dst: "head"})
+	r.bus.Attach("sensor", func(network.Delivery) {})
+	var got network.Message
+	r.eth.Attach("head", func(d network.Delivery) { got = d.Msg })
+	r.bus.Send(network.Message{ID: 0x100, Src: "sensor", Bytes: 4})
+	r.k.Run()
+	if got.ID != 0x9000 || got.Class != network.ClassControl {
+		t.Errorf("remap = %+v", got)
+	}
+}
+
+func TestUnroutedStaysLocal(t *testing.T) {
+	r := newRig(t)
+	r.gw.AddRoute(Route{FromNet: "body", ToNet: "backbone", ID: 0x100, Dst: "head"})
+	r.bus.Attach("sensor", func(network.Delivery) {})
+	count := 0
+	r.eth.Attach("head", func(network.Delivery) { count++ })
+	r.bus.Send(network.Message{ID: 0x200, Src: "sensor", Bytes: 4}) // no route
+	r.k.Run()
+	if count != 0 || r.gw.Forwarded != 0 {
+		t.Errorf("unrouted message forwarded: count=%d", count)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := can.New(k, can.Config{Name: "body", BitsPerSecond: 500_000})
+	eth := tsn.New(k, tsn.DefaultConfig("backbone"))
+	gw := New(k, Config{Name: "gw", ProcDelay: 100 * sim.Millisecond, QueueCap: 2})
+	gw.AttachPort(bus, can.MaxPayload)
+	gw.AttachPort(eth, 1400)
+	gw.AddRoute(Route{FromNet: "body", ToNet: "backbone", ID: 1, Dst: "head"})
+	bus.Attach("s", func(network.Delivery) {})
+	eth.Attach("head", func(network.Delivery) {})
+	for i := 0; i < 5; i++ {
+		bus.Send(network.Message{ID: 1, Src: "s", Bytes: 1})
+	}
+	k.Run()
+	if gw.Dropped != 3 || gw.Forwarded != 2 {
+		t.Errorf("dropped=%d forwarded=%d, want 3/2", gw.Dropped, gw.Forwarded)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	r := newRig(t)
+	cases := []Route{
+		{FromNet: "ghost", ToNet: "backbone", ID: 1},
+		{FromNet: "body", ToNet: "ghost", ID: 1},
+		{FromNet: "body", ToNet: "body", ID: 1},
+	}
+	for i, c := range cases {
+		if err := r.gw.AddRoute(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := r.gw.AddRoute(Route{FromNet: "body", ToNet: "backbone", ID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.gw.AddRoute(Route{FromNet: "body", ToNet: "backbone", ID: 7}); err == nil {
+		t.Error("duplicate route accepted")
+	}
+}
+
+func TestBidirectionalRoundTrip(t *testing.T) {
+	// sensor (CAN) → gw → head (Eth) and a command back.
+	r := newRig(t)
+	r.gw.AddRoute(Route{FromNet: "body", ToNet: "backbone", ID: 0x10, Dst: "head"})
+	r.gw.AddRoute(Route{FromNet: "backbone", ToNet: "body", ID: 0x20, Dst: "sensor"})
+	var cmd []network.Delivery
+	r.bus.Attach("sensor", func(d network.Delivery) { cmd = append(cmd, d) })
+	r.eth.Attach("head", func(d network.Delivery) {
+		// Respond to the status with a command.
+		r.eth.Send(network.Message{ID: 0x20, Src: "head", Dst: "gw", Bytes: 2})
+	})
+	r.bus.Send(network.Message{ID: 0x10, Src: "sensor", Bytes: 8})
+	r.k.Run()
+	if len(cmd) != 1 {
+		t.Fatalf("round trip deliveries = %d", len(cmd))
+	}
+	if r.gw.Forwarded != 2 {
+		t.Errorf("forwarded = %d", r.gw.Forwarded)
+	}
+}

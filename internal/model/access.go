@@ -1,0 +1,108 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AccessMatrix is the access-control model the paper's Section 4.2 asks to
+// extract automatically from the system model: which client may access
+// which service interface. It is consumed by the security/auth package at
+// binding time and can be checked at integration time.
+type AccessMatrix struct {
+	// allowed maps interface name → set of permitted client app names.
+	allowed map[string]map[string]bool
+	// wildcard clients (e.g. a data logger) may access every interface;
+	// the paper flags these as needing special scrutiny.
+	wildcards map[string]bool
+}
+
+// ExtractAccessMatrix derives the access matrix from the model's declared
+// bindings: exactly the declared client/interface pairs are authorized.
+func ExtractAccessMatrix(s *System) *AccessMatrix {
+	m := &AccessMatrix{allowed: map[string]map[string]bool{}, wildcards: map[string]bool{}}
+	for _, i := range s.Interfaces {
+		m.allowed[i.Name] = map[string]bool{}
+	}
+	for _, b := range s.Bindings {
+		set, ok := m.allowed[b.Interface]
+		if !ok {
+			set = map[string]bool{}
+			m.allowed[b.Interface] = set
+		}
+		set[b.Client] = true
+	}
+	return m
+}
+
+// Allow authorizes client to access iface (runtime permission adjustment,
+// Section 4.2).
+func (m *AccessMatrix) Allow(client, iface string) {
+	set, ok := m.allowed[iface]
+	if !ok {
+		set = map[string]bool{}
+		m.allowed[iface] = set
+	}
+	set[client] = true
+}
+
+// Revoke removes an authorization.
+func (m *AccessMatrix) Revoke(client, iface string) {
+	if set, ok := m.allowed[iface]; ok {
+		delete(set, client)
+	}
+}
+
+// GrantWildcard authorizes client for every interface (data-logger case).
+func (m *AccessMatrix) GrantWildcard(client string) { m.wildcards[client] = true }
+
+// RevokeWildcard removes a wildcard grant.
+func (m *AccessMatrix) RevokeWildcard(client string) { delete(m.wildcards, client) }
+
+// Allowed reports whether client may access iface.
+func (m *AccessMatrix) Allowed(client, iface string) bool {
+	if m.wildcards[client] {
+		return true
+	}
+	return m.allowed[iface][client]
+}
+
+// Wildcards returns the sorted wildcard clients, which security review
+// should scrutinize (Section 4.2).
+func (m *AccessMatrix) Wildcards() []string {
+	out := make([]string, 0, len(m.wildcards))
+	for c := range m.wildcards {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clients returns the sorted clients authorized for iface (excluding
+// wildcards).
+func (m *AccessMatrix) Clients(iface string) []string {
+	var out []string
+	for c := range m.allowed[iface] {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the matrix deterministically, one interface per line.
+func (m *AccessMatrix) String() string {
+	ifaces := make([]string, 0, len(m.allowed))
+	for i := range m.allowed {
+		ifaces = append(ifaces, i)
+	}
+	sort.Strings(ifaces)
+	var sb strings.Builder
+	for _, i := range ifaces {
+		fmt.Fprintf(&sb, "%s: %s\n", i, strings.Join(m.Clients(i), ","))
+	}
+	if len(m.wildcards) > 0 {
+		fmt.Fprintf(&sb, "*: %s\n", strings.Join(m.Wildcards(), ","))
+	}
+	return sb.String()
+}

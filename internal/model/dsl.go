@@ -1,0 +1,498 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dynaplat/internal/sim"
+)
+
+// The dynaplat DSL is a line-oriented text format describing a system
+// (Section 2.2's call for a set of DSLs covering hardware, interfaces and
+// deployment). Example:
+//
+//	system Demo
+//	ecu   CPM1 cpu=400MHz mem=2MB mmu crypto os=rtos cost=40
+//	ecu   Head cpu=1000MHz mem=64MB mmu os=posix cost=25
+//	network Backbone type=ethernet rate=100Mbps attach=CPM1,Head
+//	app   Brake kind=da  asil=D period=10ms wcet=2ms deadline=10ms jitter=500us mem=64KB on=CPM1
+//	app   Media kind=nda asil=QM mem=4MB on=Head
+//	iface BrakeStatus owner=Brake paradigm=event payload=8B period=10ms latency=5ms net=Backbone
+//	bind  Media -> BrakeStatus
+//
+// '#' starts a comment; blank lines are ignored.
+
+// ParseError reports a DSL syntax or consistency error with its location.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// Parse reads a system model from DSL text.
+func Parse(r io.Reader) (*System, error) {
+	sys := NewSystem("")
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	fail := func(format string, args ...any) error {
+		return &ParseError{Line: lineNo, Msg: fmt.Sprintf(format, args...)}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		kw, rest := strings.ToLower(fields[0]), fields[1:]
+		var err error
+		switch kw {
+		case "system":
+			if len(rest) != 1 {
+				err = fmt.Errorf("system takes exactly one name")
+			} else {
+				sys.Name = rest[0]
+			}
+		case "ecu":
+			err = parseECU(sys, rest)
+		case "network":
+			err = parseNetwork(sys, rest)
+		case "app":
+			err = parseApp(sys, rest)
+		case "iface":
+			err = parseIface(sys, rest)
+		case "bind":
+			err = parseBind(sys, rest)
+		default:
+			err = fmt.Errorf("unknown keyword %q", fields[0])
+		}
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// ParseString parses a DSL document held in a string.
+func ParseString(s string) (*System, error) { return Parse(strings.NewReader(s)) }
+
+// MustParse parses s and panics on error; for tests and examples.
+func MustParse(s string) *System {
+	sys, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+type attrs struct {
+	kv    map[string]string
+	flags map[string]bool
+	used  map[string]bool
+}
+
+func parseAttrs(fields []string) *attrs {
+	a := &attrs{kv: map[string]string{}, flags: map[string]bool{}, used: map[string]bool{}}
+	for _, f := range fields {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			a.kv[strings.ToLower(k)] = v
+		} else {
+			a.flags[strings.ToLower(f)] = true
+		}
+	}
+	return a
+}
+
+func (a *attrs) str(key string) (string, bool) {
+	a.used[key] = true
+	v, ok := a.kv[key]
+	return v, ok
+}
+
+func (a *attrs) flag(key string) bool {
+	a.used[key] = true
+	return a.flags[key]
+}
+
+// unknown returns any attribute key that was never consumed, catching typos
+// like "perod=10ms".
+func (a *attrs) unknown() string {
+	for k := range a.kv {
+		if !a.used[k] {
+			return k
+		}
+	}
+	for k := range a.flags {
+		if !a.used[k] {
+			return k
+		}
+	}
+	return ""
+}
+
+func parseECU(sys *System, fields []string) error {
+	if len(fields) < 1 {
+		return fmt.Errorf("ecu needs a name")
+	}
+	name := fields[0]
+	if sys.ECU(name) != nil {
+		return fmt.Errorf("duplicate ecu %q", name)
+	}
+	a := parseAttrs(fields[1:])
+	e := &ECU{Name: name, CPUMHz: ReferenceMHz, MemoryKB: 1024, OS: OSRTOS}
+	if v, ok := a.str("cpu"); ok {
+		mhz, err := ParseFrequencyMHz(v)
+		if err != nil {
+			return err
+		}
+		e.CPUMHz = mhz
+	}
+	if v, ok := a.str("mem"); ok {
+		kb, err := ParseSizeKB(v)
+		if err != nil {
+			return err
+		}
+		e.MemoryKB = kb
+	}
+	if v, ok := a.str("os"); ok {
+		switch normalize(v) {
+		case "rtos":
+			e.OS = OSRTOS
+		case "posix", "gpos":
+			e.OS = OSPOSIX
+		default:
+			return fmt.Errorf("unknown os %q", v)
+		}
+	}
+	if v, ok := a.str("cost"); ok {
+		c, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad cost %q", v)
+		}
+		e.Cost = c
+	}
+	e.HasMMU = a.flag("mmu")
+	e.HasCryptoHW = a.flag("crypto")
+	e.HasGPU = a.flag("gpu")
+	if k := a.unknown(); k != "" {
+		return fmt.Errorf("ecu %s: unknown attribute %q", name, k)
+	}
+	sys.ECUs = append(sys.ECUs, e)
+	return nil
+}
+
+func parseNetwork(sys *System, fields []string) error {
+	if len(fields) < 1 {
+		return fmt.Errorf("network needs a name")
+	}
+	name := fields[0]
+	if sys.Network(name) != nil {
+		return fmt.Errorf("duplicate network %q", name)
+	}
+	a := parseAttrs(fields[1:])
+	n := &Network{Name: name, Kind: NetCAN, BitsPerSecond: 500_000}
+	if v, ok := a.str("type"); ok {
+		switch normalize(v) {
+		case "can":
+			n.Kind = NetCAN
+		case "flexray":
+			n.Kind = NetFlexRay
+		case "ethernet", "eth", "tsn":
+			n.Kind = NetEthernet
+		default:
+			return fmt.Errorf("unknown network type %q", v)
+		}
+	}
+	if v, ok := a.str("rate"); ok {
+		bps, err := ParseBitRate(v)
+		if err != nil {
+			return err
+		}
+		n.BitsPerSecond = bps
+	}
+	if v, ok := a.str("attach"); ok {
+		n.Attached = strings.Split(v, ",")
+	}
+	if k := a.unknown(); k != "" {
+		return fmt.Errorf("network %s: unknown attribute %q", name, k)
+	}
+	sys.Networks = append(sys.Networks, n)
+	return nil
+}
+
+func parseApp(sys *System, fields []string) error {
+	if len(fields) < 1 {
+		return fmt.Errorf("app needs a name")
+	}
+	name := fields[0]
+	if sys.App(name) != nil {
+		return fmt.Errorf("duplicate app %q", name)
+	}
+	a := parseAttrs(fields[1:])
+	app := &App{Name: name, Kind: NonDeterministic, MemoryKB: 64, Replicas: 1, Version: 1}
+	if v, ok := a.str("kind"); ok {
+		switch normalize(v) {
+		case "da", "deterministic":
+			app.Kind = Deterministic
+		case "nda", "nondeterministic":
+			app.Kind = NonDeterministic
+		default:
+			return fmt.Errorf("unknown app kind %q", v)
+		}
+	}
+	if v, ok := a.str("asil"); ok {
+		asil, err := ParseASIL(v)
+		if err != nil {
+			return err
+		}
+		app.ASIL = asil
+	}
+	var err error
+	if app.Period, err = durAttr(a, "period"); err != nil {
+		return err
+	}
+	if app.WCET, err = durAttr(a, "wcet"); err != nil {
+		return err
+	}
+	if app.Deadline, err = durAttr(a, "deadline"); err != nil {
+		return err
+	}
+	if app.Jitter, err = durAttr(a, "jitter"); err != nil {
+		return err
+	}
+	if v, ok := a.str("mem"); ok {
+		kb, err := ParseSizeKB(v)
+		if err != nil {
+			return err
+		}
+		app.MemoryKB = kb
+	}
+	if v, ok := a.str("replicas"); ok {
+		r, err := strconv.Atoi(v)
+		if err != nil || r < 1 {
+			return fmt.Errorf("bad replicas %q", v)
+		}
+		app.Replicas = r
+	}
+	if v, ok := a.str("candidates"); ok {
+		app.Candidates = strings.Split(v, ",")
+	}
+	app.NeedsGPU = a.flag("gpu")
+	app.NeedsCrypto = a.flag("crypto")
+	if v, ok := a.str("on"); ok {
+		sys.Placement[name] = v
+	}
+	if app.Kind == Deterministic && app.Deadline == 0 {
+		app.Deadline = app.Period // implicit deadline
+	}
+	if k := a.unknown(); k != "" {
+		return fmt.Errorf("app %s: unknown attribute %q", name, k)
+	}
+	sys.Apps = append(sys.Apps, app)
+	return nil
+}
+
+func parseIface(sys *System, fields []string) error {
+	if len(fields) < 1 {
+		return fmt.Errorf("iface needs a name")
+	}
+	name := fields[0]
+	if sys.Interface(name) != nil {
+		return fmt.Errorf("duplicate iface %q", name)
+	}
+	a := parseAttrs(fields[1:])
+	ifc := &Interface{Name: name, Paradigm: Event, PayloadBytes: 8, Version: 1}
+	if v, ok := a.str("owner"); ok {
+		ifc.Owner = v
+	} else {
+		return fmt.Errorf("iface %s: missing owner", name)
+	}
+	if v, ok := a.str("paradigm"); ok {
+		p, err := ParseParadigm(v)
+		if err != nil {
+			return err
+		}
+		ifc.Paradigm = p
+	}
+	if v, ok := a.str("payload"); ok {
+		b, err := ParseSizeBytes(v)
+		if err != nil {
+			return err
+		}
+		ifc.PayloadBytes = b
+	}
+	var err error
+	if ifc.Period, err = durAttr(a, "period"); err != nil {
+		return err
+	}
+	if ifc.LatencyBound, err = durAttr(a, "latency"); err != nil {
+		return err
+	}
+	if ifc.JitterBound, err = durAttr(a, "jitter"); err != nil {
+		return err
+	}
+	if v, ok := a.str("rate"); ok {
+		bps, err := ParseBitRate(v)
+		if err != nil {
+			return err
+		}
+		ifc.BitsPerSecond = bps
+	}
+	if v, ok := a.str("net"); ok {
+		ifc.Network = v
+	}
+	if k := a.unknown(); k != "" {
+		return fmt.Errorf("iface %s: unknown attribute %q", name, k)
+	}
+	sys.Interfaces = append(sys.Interfaces, ifc)
+	return nil
+}
+
+func parseBind(sys *System, fields []string) error {
+	// Accept "Client -> Interface" and "Client->Interface".
+	joined := strings.Join(fields, " ")
+	client, iface, ok := strings.Cut(joined, "->")
+	if !ok {
+		return fmt.Errorf("bind syntax is: bind <client> -> <interface>")
+	}
+	client, iface = strings.TrimSpace(client), strings.TrimSpace(iface)
+	if client == "" || iface == "" {
+		return fmt.Errorf("bind needs both client and interface")
+	}
+	sys.Bindings = append(sys.Bindings, Binding{Client: client, Interface: iface})
+	return nil
+}
+
+func durAttr(a *attrs, key string) (sim.Duration, error) {
+	v, ok := a.str(key)
+	if !ok {
+		return 0, nil
+	}
+	d, err := ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", key, err)
+	}
+	return d, nil
+}
+
+func normalize(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// ParseDuration parses "10ms", "500us", "1s", "250ns" into a virtual-time
+// duration.
+func ParseDuration(s string) (sim.Duration, error) {
+	num, unit := splitUnit(s)
+	mult := sim.Duration(0)
+	switch strings.ToLower(unit) {
+	case "ns":
+		mult = sim.Nanosecond
+	case "us", "µs":
+		mult = sim.Microsecond
+	case "ms":
+		mult = sim.Millisecond
+	case "s":
+		mult = sim.Second
+	default:
+		return 0, fmt.Errorf("bad duration %q (want ns/us/ms/s)", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return sim.Duration(f * float64(mult)), nil
+}
+
+// ParseSizeKB parses "64KB", "2MB", "512B" into kilobytes (rounding up).
+func ParseSizeKB(s string) (int, error) {
+	b, err := ParseSizeBytes(s)
+	if err != nil {
+		return 0, err
+	}
+	return (b + 1023) / 1024, nil
+}
+
+// ParseSizeBytes parses "8B", "64KB", "2MB" into bytes.
+func ParseSizeBytes(s string) (int, error) {
+	num, unit := splitUnit(s)
+	mult := 0
+	switch strings.ToUpper(unit) {
+	case "B", "":
+		mult = 1
+	case "KB":
+		mult = 1024
+	case "MB":
+		mult = 1024 * 1024
+	default:
+		return 0, fmt.Errorf("bad size %q (want B/KB/MB)", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return int(f * float64(mult)), nil
+}
+
+// ParseBitRate parses "500kbps", "100Mbps", "1Gbps" into bits per second.
+func ParseBitRate(s string) (int64, error) {
+	num, unit := splitUnit(s)
+	var mult int64
+	switch strings.ToLower(unit) {
+	case "bps":
+		mult = 1
+	case "kbps":
+		mult = 1_000
+	case "mbps":
+		mult = 1_000_000
+	case "gbps":
+		mult = 1_000_000_000
+	default:
+		return 0, fmt.Errorf("bad bit rate %q (want bps/kbps/Mbps/Gbps)", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("bad bit rate %q", s)
+	}
+	return int64(f * float64(mult)), nil
+}
+
+// ParseFrequencyMHz parses "200MHz", "1GHz" into MHz.
+func ParseFrequencyMHz(s string) (int, error) {
+	num, unit := splitUnit(s)
+	mult := 0.0
+	switch strings.ToLower(unit) {
+	case "mhz":
+		mult = 1
+	case "ghz":
+		mult = 1000
+	default:
+		return 0, fmt.Errorf("bad frequency %q (want MHz/GHz)", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f <= 0 {
+		return 0, fmt.Errorf("bad frequency %q", s)
+	}
+	return int(f * mult), nil
+}
+
+func splitUnit(s string) (num, unit string) {
+	s = strings.TrimSpace(s)
+	i := len(s)
+	for i > 0 {
+		c := s[i-1]
+		if (c >= '0' && c <= '9') || c == '.' {
+			break
+		}
+		i--
+	}
+	return s[:i], s[i:]
+}

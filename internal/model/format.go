@@ -1,0 +1,81 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"dynaplat/internal/sim"
+)
+
+// Format renders the system back into DSL text. Parse(Format(s)) yields an
+// equivalent system, which tooling uses to persist DSE results.
+func Format(s *System) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "system %s\n", s.Name)
+	for _, e := range s.ECUs {
+		fmt.Fprintf(&sb, "ecu %s cpu=%dMHz mem=%dKB os=%s cost=%d", e.Name, e.CPUMHz, e.MemoryKB, e.OS, e.Cost)
+		if e.HasMMU {
+			sb.WriteString(" mmu")
+		}
+		if e.HasCryptoHW {
+			sb.WriteString(" crypto")
+		}
+		if e.HasGPU {
+			sb.WriteString(" gpu")
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range s.Networks {
+		fmt.Fprintf(&sb, "network %s type=%s rate=%dbps", n.Name, n.Kind, n.BitsPerSecond)
+		if len(n.Attached) > 0 {
+			fmt.Fprintf(&sb, " attach=%s", strings.Join(n.Attached, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	for _, a := range s.Apps {
+		fmt.Fprintf(&sb, "app %s kind=%s asil=%s mem=%dKB", a.Name, a.Kind, a.ASIL, a.MemoryKB)
+		writeDur(&sb, "period", a.Period)
+		writeDur(&sb, "wcet", a.WCET)
+		writeDur(&sb, "deadline", a.Deadline)
+		writeDur(&sb, "jitter", a.Jitter)
+		if a.Replicas > 1 {
+			fmt.Fprintf(&sb, " replicas=%d", a.Replicas)
+		}
+		if len(a.Candidates) > 0 {
+			fmt.Fprintf(&sb, " candidates=%s", strings.Join(a.Candidates, ","))
+		}
+		if a.NeedsGPU {
+			sb.WriteString(" gpu")
+		}
+		if a.NeedsCrypto {
+			sb.WriteString(" crypto")
+		}
+		if ecu, ok := s.Placement[a.Name]; ok {
+			fmt.Fprintf(&sb, " on=%s", ecu)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, i := range s.Interfaces {
+		fmt.Fprintf(&sb, "iface %s owner=%s paradigm=%s payload=%dB", i.Name, i.Owner, i.Paradigm, i.PayloadBytes)
+		writeDur(&sb, "period", i.Period)
+		writeDur(&sb, "latency", i.LatencyBound)
+		writeDur(&sb, "jitter", i.JitterBound)
+		if i.BitsPerSecond > 0 {
+			fmt.Fprintf(&sb, " rate=%dbps", i.BitsPerSecond)
+		}
+		if i.Network != "" {
+			fmt.Fprintf(&sb, " net=%s", i.Network)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, b := range s.Bindings {
+		fmt.Fprintf(&sb, "bind %s -> %s\n", b.Client, b.Interface)
+	}
+	return sb.String()
+}
+
+func writeDur(sb *strings.Builder, key string, d sim.Duration) {
+	if d > 0 {
+		fmt.Fprintf(sb, " %s=%dns", key, int64(d))
+	}
+}

@@ -1,0 +1,52 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON interchange for the system model, so external tooling (CI
+// pipelines, dashboards) can consume and produce configurations without
+// speaking the DSL. The encoding is stable and round-trips losslessly.
+
+// jsonSystem mirrors System with exported, tagged fields.
+type jsonSystem struct {
+	Name       string            `json:"name"`
+	ECUs       []*ECU            `json:"ecus,omitempty"`
+	Networks   []*Network        `json:"networks,omitempty"`
+	Apps       []*App            `json:"apps,omitempty"`
+	Interfaces []*Interface      `json:"interfaces,omitempty"`
+	Bindings   []Binding         `json:"bindings,omitempty"`
+	Placement  map[string]string `json:"placement,omitempty"`
+}
+
+// MarshalJSONSystem encodes the system as deterministic, indented JSON.
+func MarshalJSONSystem(s *System) ([]byte, error) {
+	return json.MarshalIndent(jsonSystem{
+		Name:       s.Name,
+		ECUs:       s.ECUs,
+		Networks:   s.Networks,
+		Apps:       s.Apps,
+		Interfaces: s.Interfaces,
+		Bindings:   s.Bindings,
+		Placement:  s.Placement,
+	}, "", "  ")
+}
+
+// UnmarshalJSONSystem decodes a system from JSON.
+func UnmarshalJSONSystem(data []byte) (*System, error) {
+	var js jsonSystem
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, fmt.Errorf("model: bad JSON: %w", err)
+	}
+	s := NewSystem(js.Name)
+	s.ECUs = js.ECUs
+	s.Networks = js.Networks
+	s.Apps = js.Apps
+	s.Interfaces = js.Interfaces
+	s.Bindings = js.Bindings
+	if js.Placement != nil {
+		s.Placement = js.Placement
+	}
+	return s, nil
+}

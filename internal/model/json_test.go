@@ -1,0 +1,52 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := demo(t)
+	data, err := MarshalJSONSystem(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := UnmarshalJSONSystem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip must preserve the DSL rendering exactly.
+	if Format(s) != Format(s2) {
+		t.Errorf("JSON round trip lost data:\n%s\nvs\n%s", Format(s), Format(s2))
+	}
+	// And the validation verdict.
+	if Validate(s).OK() != Validate(s2).OK() {
+		t.Error("validation verdict changed")
+	}
+}
+
+func TestJSONStableEncoding(t *testing.T) {
+	s := demo(t)
+	a, _ := MarshalJSONSystem(s)
+	b, _ := MarshalJSONSystem(s)
+	if string(a) != string(b) {
+		t.Error("encoding not deterministic")
+	}
+	if !strings.Contains(string(a), `"name": "Demo"`) {
+		t.Errorf("unexpected encoding: %.120s", a)
+	}
+}
+
+func TestJSONBadInput(t *testing.T) {
+	if _, err := UnmarshalJSONSystem([]byte(`{bad`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	// Empty object yields an empty, usable system.
+	s, err := UnmarshalJSONSystem([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Placement == nil {
+		t.Error("nil placement map")
+	}
+}

@@ -1,0 +1,349 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"dynaplat/internal/sim"
+)
+
+const demoDSL = `
+# demo vehicle
+system Demo
+ecu CPM1 cpu=400MHz mem=2MB mmu crypto os=rtos cost=40
+ecu Head cpu=1000MHz mem=64MB mmu os=posix cost=25
+ecu Zone1 cpu=200MHz mem=512KB mmu os=rtos cost=12
+network Backbone type=ethernet rate=100Mbps attach=CPM1,Head,Zone1
+network Body type=can rate=500kbps attach=CPM1,Zone1
+app Brake kind=da asil=D period=10ms wcet=2ms deadline=10ms jitter=500us mem=64KB on=CPM1
+app Suspension kind=da asil=C period=5ms wcet=1ms mem=64KB on=Zone1
+app Media kind=nda asil=QM mem=4MB on=Head
+iface BrakeStatus owner=Brake paradigm=event payload=8B period=10ms latency=5ms net=Backbone
+iface MediaControl owner=Media paradigm=message payload=64B period=100ms net=Backbone
+bind Media -> BrakeStatus
+bind Suspension -> BrakeStatus
+`
+
+func demo(t *testing.T) *System {
+	t.Helper()
+	s, err := ParseString(demoDSL)
+	if err != nil {
+		t.Fatalf("parse demo: %v", err)
+	}
+	return s
+}
+
+func TestParseDemo(t *testing.T) {
+	s := demo(t)
+	if s.Name != "Demo" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if len(s.ECUs) != 3 || len(s.Networks) != 2 || len(s.Apps) != 3 ||
+		len(s.Interfaces) != 2 || len(s.Bindings) != 2 {
+		t.Fatalf("counts: %d ecus %d nets %d apps %d ifaces %d binds",
+			len(s.ECUs), len(s.Networks), len(s.Apps), len(s.Interfaces), len(s.Bindings))
+	}
+	brake := s.App("Brake")
+	if brake.Kind != Deterministic || brake.ASIL != ASILD {
+		t.Errorf("brake = %+v", brake)
+	}
+	if brake.Period != 10*sim.Millisecond || brake.WCET != 2*sim.Millisecond {
+		t.Errorf("brake timing = %v/%v", brake.Period, brake.WCET)
+	}
+	if brake.Jitter != 500*sim.Microsecond {
+		t.Errorf("brake jitter = %v", brake.Jitter)
+	}
+	cpm := s.ECU("CPM1")
+	if cpm.CPUMHz != 400 || !cpm.HasMMU || !cpm.HasCryptoHW || cpm.OS != OSRTOS {
+		t.Errorf("cpm = %+v", cpm)
+	}
+	if cpm.MemoryKB != 2048 {
+		t.Errorf("cpm mem = %d", cpm.MemoryKB)
+	}
+	if s.Placement["Brake"] != "CPM1" {
+		t.Errorf("placement = %v", s.Placement)
+	}
+	bb := s.Network("Backbone")
+	if bb.Kind != NetEthernet || bb.BitsPerSecond != 100_000_000 {
+		t.Errorf("backbone = %+v", bb)
+	}
+	if !bb.Attaches("Head") || bb.Attaches("Nope") {
+		t.Error("Attaches wrong")
+	}
+}
+
+func TestImplicitDeadline(t *testing.T) {
+	s := MustParse("app X kind=da period=4ms wcet=1ms")
+	if d := s.App("X").Deadline; d != 4*sim.Millisecond {
+		t.Errorf("implicit deadline = %v, want 4ms", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ dsl, wantSub string }{
+		{"ecu", "needs a name"},
+		{"ecu A cpu=fast", "bad frequency"},
+		{"ecu A\necu A", "duplicate ecu"},
+		{"ecu A typo=1", "unknown attribute"},
+		{"app A kind=da perod=10ms", "unknown attribute"},
+		{"app A kind=wat", "unknown app kind"},
+		{"app A asil=E", "unknown ASIL"},
+		{"iface I paradigm=event", "missing owner"},
+		{"iface I owner=A paradigm=blob", "unknown paradigm"},
+		{"bind A B", "bind syntax"},
+		{"frobnicate yes", "unknown keyword"},
+		{"network N rate=fast", "bad bit rate"},
+		{"app A period=10parsecs", "bad duration"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.dsl)
+		if err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error containing %q", c.dsl, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseString(%q) error = %v, want substring %q", c.dsl, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := ParseString("system A\n\necu B cpu=bogus")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestUnitParsers(t *testing.T) {
+	if d, err := ParseDuration("1.5ms"); err != nil || d != 1500*sim.Microsecond {
+		t.Errorf("1.5ms = %v, %v", d, err)
+	}
+	if b, err := ParseSizeBytes("2KB"); err != nil || b != 2048 {
+		t.Errorf("2KB = %v, %v", b, err)
+	}
+	if kb, err := ParseSizeKB("512B"); err != nil || kb != 1 {
+		t.Errorf("512B = %vKB, %v", kb, err)
+	}
+	if r, err := ParseBitRate("1Gbps"); err != nil || r != 1_000_000_000 {
+		t.Errorf("1Gbps = %v, %v", r, err)
+	}
+	if f, err := ParseFrequencyMHz("1GHz"); err != nil || f != 1000 {
+		t.Errorf("1GHz = %v, %v", f, err)
+	}
+	for _, bad := range []string{"", "ms", "-5ms", "10"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	s := demo(t)
+	s2, err := ParseString(Format(s))
+	if err != nil {
+		t.Fatalf("re-parse formatted: %v", err)
+	}
+	if Format(s) != Format(s2) {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", Format(s), Format(s2))
+	}
+	if len(s2.Apps) != len(s.Apps) || s2.App("Brake").Period != s.App("Brake").Period {
+		t.Error("round trip lost data")
+	}
+}
+
+func TestValidateDemoOK(t *testing.T) {
+	r := Validate(demo(t))
+	if !r.OK() {
+		t.Fatalf("demo should validate; findings: %v", r.Findings)
+	}
+}
+
+func findRule(r *Report, rule string) *Finding {
+	for i := range r.Findings {
+		if r.Findings[i].Rule == rule {
+			return &r.Findings[i]
+		}
+	}
+	return nil
+}
+
+func TestValidateCatches(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*System)
+		rule   string
+	}{
+		{"unknown ecu placement", func(s *System) { s.Placement["Brake"] = "Nope" }, "placement/unknown-ecu"},
+		{"da on posix", func(s *System) { s.Placement["Brake"] = "Head" }, "placement/da-needs-rtos"},
+		{"memory overcommit", func(s *System) { s.App("Media").MemoryKB = 1 << 30 }, "resources/memory"},
+		{"cpu overcommit", func(s *System) { s.App("Brake").WCET = 500 * sim.Millisecond }, "resources/cpu"},
+		{"asil dependency", func(s *System) {
+			// Make ASIL-D Brake depend on QM Media's interface.
+			s.Bindings = append(s.Bindings, Binding{Client: "Brake", Interface: "MediaControl"})
+		}, "safety/asil-dependency"},
+		{"unknown iface owner", func(s *System) { s.Interface("BrakeStatus").Owner = "Ghost" }, "iface/unknown-owner"},
+		{"unknown binding client", func(s *System) {
+			s.Bindings = append(s.Bindings, Binding{Client: "Ghost", Interface: "BrakeStatus"})
+		}, "bind/unknown-client"},
+		{"cross-ecu without network", func(s *System) { s.Interface("BrakeStatus").Network = "" }, "comms/needs-network"},
+		{"unreachable network", func(s *System) {
+			// Body attaches only CPM1 and Zone1; Media sits on Head.
+			s.Interface("BrakeStatus").Network = "Body"
+		}, "comms/unreachable"},
+		{"bandwidth overload", func(s *System) {
+			s.Interface("BrakeStatus").PayloadBytes = 80000
+			s.Interface("BrakeStatus").Period = sim.Millisecond
+			s.Interface("BrakeStatus").LatencyBound = 0
+		}, "comms/bandwidth"},
+		{"latency infeasible", func(s *System) {
+			s.Interface("BrakeStatus").LatencyBound = 100 * sim.Nanosecond
+		}, "comms/latency-infeasible"},
+		{"wcet exceeds deadline", func(s *System) {
+			s.App("Suspension").WCET = 6 * sim.Millisecond
+			s.App("Suspension").Deadline = 5 * sim.Millisecond
+		}, "timing/wcet-gt-deadline"},
+		{"da missing period", func(s *System) { s.App("Brake").Period = 0 }, "timing/no-period"},
+		{"replicas exceed ecus", func(s *System) {
+			s.App("Brake").Replicas = 2
+			s.App("Brake").Candidates = []string{"CPM1"}
+		}, "redundancy/too-few-ecus"},
+		{"outside candidates", func(s *System) {
+			s.App("Brake").Candidates = []string{"Zone1"}
+		}, "placement/outside-candidates"},
+		{"needs gpu", func(s *System) { s.App("Brake").NeedsGPU = true }, "placement/needs-gpu"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := demo(t)
+			c.mutate(s)
+			r := Validate(s)
+			if f := findRule(r, c.rule); f == nil {
+				t.Errorf("expected finding %q; got %v", c.rule, r.Findings)
+			}
+		})
+	}
+}
+
+func TestValidateMixedCriticalityNeedsMMU(t *testing.T) {
+	s := MustParse(`
+ecu E cpu=200MHz mem=10MB os=rtos
+app HighCrit kind=da asil=D period=10ms wcet=1ms mem=1KB on=E
+app LowCrit kind=nda asil=QM mem=1KB on=E
+`)
+	r := Validate(s)
+	if findRule(r, "placement/mixed-needs-mmu") == nil {
+		t.Errorf("expected mixed-needs-mmu; got %v", r.Findings)
+	}
+}
+
+func TestValidateUnplacedAppSkipped(t *testing.T) {
+	s := MustParse(`
+ecu E cpu=200MHz mem=1MB mmu os=rtos
+app Floating kind=da asil=B period=10ms wcet=1ms mem=64KB
+`)
+	r := Validate(s)
+	if !r.OK() {
+		t.Errorf("unplaced app should not produce placement errors: %v", r.Errors())
+	}
+}
+
+func TestScaledWCET(t *testing.T) {
+	e := &ECU{CPUMHz: 200}
+	if w := e.ScaledWCET(10 * sim.Millisecond); w != 5*sim.Millisecond {
+		t.Errorf("scaled = %v, want 5ms", w)
+	}
+	slow := &ECU{CPUMHz: 50}
+	if w := slow.ScaledWCET(10 * sim.Millisecond); w != 20*sim.Millisecond {
+		t.Errorf("scaled = %v, want 20ms", w)
+	}
+}
+
+func TestUtilizationAndMemory(t *testing.T) {
+	s := demo(t)
+	cpm := s.ECU("CPM1")
+	// Brake: 2ms WCET @100MHz ref → 0.5ms at 400MHz, period 10ms → 0.05
+	if u := s.ECUUtilization(cpm); u < 0.049 || u > 0.051 {
+		t.Errorf("utilization = %v, want 0.05", u)
+	}
+	if m := s.ECUMemoryUse(cpm); m != 64 {
+		t.Errorf("memory = %v, want 64", m)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := demo(t)
+	c := s.Clone()
+	c.Placement["Brake"] = "Head"
+	c.App("Brake").WCET = 0
+	c.Network("Body").Attached[0] = "X"
+	if s.Placement["Brake"] != "CPM1" || s.App("Brake").WCET == 0 ||
+		s.Network("Body").Attached[0] != "CPM1" {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestAccessMatrix(t *testing.T) {
+	s := demo(t)
+	m := ExtractAccessMatrix(s)
+	if !m.Allowed("Media", "BrakeStatus") {
+		t.Error("declared binding not allowed")
+	}
+	if m.Allowed("Media", "MediaControl") {
+		t.Error("undeclared binding allowed")
+	}
+	m.Allow("Media", "MediaControl")
+	if !m.Allowed("Media", "MediaControl") {
+		t.Error("Allow did not take effect")
+	}
+	m.Revoke("Media", "MediaControl")
+	if m.Allowed("Media", "MediaControl") {
+		t.Error("Revoke did not take effect")
+	}
+	m.GrantWildcard("Logger")
+	if !m.Allowed("Logger", "BrakeStatus") || !m.Allowed("Logger", "MediaControl") {
+		t.Error("wildcard not honored")
+	}
+	if ws := m.Wildcards(); len(ws) != 1 || ws[0] != "Logger" {
+		t.Errorf("wildcards = %v", ws)
+	}
+	m.RevokeWildcard("Logger")
+	if m.Allowed("Logger", "BrakeStatus") {
+		t.Error("RevokeWildcard did not take effect")
+	}
+	clients := m.Clients("BrakeStatus")
+	if len(clients) != 2 || clients[0] != "Media" || clients[1] != "Suspension" {
+		t.Errorf("clients = %v", clients)
+	}
+	if !strings.Contains(m.String(), "BrakeStatus: Media,Suspension") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestNominalBitsPerSecond(t *testing.T) {
+	ev := &Interface{Paradigm: Event, PayloadBytes: 8, Period: 10 * sim.Millisecond}
+	if bps := ev.NominalBitsPerSecond(); bps != 6400 {
+		t.Errorf("event bps = %v, want 6400", bps)
+	}
+	msg := &Interface{Paradigm: Message, PayloadBytes: 8, Period: 10 * sim.Millisecond}
+	if bps := msg.NominalBitsPerSecond(); bps != 12800 {
+		t.Errorf("message bps = %v, want 12800 (two-way)", bps)
+	}
+	st := &Interface{Paradigm: Stream, BitsPerSecond: 1_000_000}
+	if bps := st.NominalBitsPerSecond(); bps != 1e6 {
+		t.Errorf("stream bps = %v", bps)
+	}
+}
+
+func TestSameNetwork(t *testing.T) {
+	s := demo(t)
+	if n := s.SameNetwork("CPM1", "Zone1"); n != "Backbone" && n != "Body" {
+		t.Errorf("SameNetwork = %q", n)
+	}
+	if n := s.SameNetwork("Head", "Head2"); n != "" {
+		t.Errorf("SameNetwork nonexistent = %q", n)
+	}
+}

@@ -1,0 +1,62 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynaplat/internal/sim"
+)
+
+func TestTxTime(t *testing.T) {
+	cases := []struct {
+		bytes int
+		bps   int64
+		want  sim.Duration
+	}{
+		{1, 8, sim.Second},                // 8 bits at 8 bps
+		{125, 1_000_000, sim.Millisecond}, // 1000 bits at 1 Mbps
+		{1500, 100_000_000, 120 * sim.Microsecond},
+		{0, 1_000_000, 0},
+		{10, 0, 0}, // degenerate rate
+	}
+	for _, c := range cases {
+		if got := TxTime(c.bytes, c.bps); got != c.want {
+			t.Errorf("TxTime(%d, %d) = %v, want %v", c.bytes, c.bps, got, c.want)
+		}
+	}
+}
+
+func TestTxTimeRoundsUp(t *testing.T) {
+	// 1 byte at 3 bps = 2.66...s → must round up, never under-account.
+	if got := TxTime(1, 3); got < sim.Duration(2_666_666_666) {
+		t.Errorf("TxTime rounded down: %v", got)
+	}
+}
+
+func TestTxTimeMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(b1, b2 uint16, rate uint32) bool {
+		bps := int64(rate%10_000_000) + 1
+		lo, hi := int(b1), int(b2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return TxTime(lo, bps) <= TxTime(hi, bps)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	d := Delivery{Enqueued: 100, Delivered: 350}
+	if d.Latency() != 250 {
+		t.Errorf("latency = %v", d.Latency())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassControl.String() != "control" || ClassPriority.String() != "priority" ||
+		ClassBulk.String() != "bulk" || Class(99).String() != "unknown" {
+		t.Error("Class strings wrong")
+	}
+}

@@ -1,0 +1,228 @@
+package platform
+
+import (
+	"sort"
+
+	"dynaplat/internal/sim"
+)
+
+// This file implements the node's two CPU models.
+//
+// ModeIsolated executes deterministic jobs exactly in their synthesized
+// table slots and confines non-deterministic work to the gaps — the
+// platform layer's freedom-of-interference guarantee. Slot lookups are
+// analytic: a job's completion time is computed at release from the
+// table, so schedule changes take effect for subsequent releases while
+// in-flight activations complete under the table they started with.
+//
+// ModeShared is the baseline: one non-preemptive queue where DA releases
+// have priority but can be blocked behind an already-running NDA job.
+
+// runDA dispatches one deterministic activation.
+func (n *Node) runDA(a *AppInstance, job int64, exec sim.Duration, release, deadline sim.Time) {
+	switch n.mode {
+	case ModeIsolated:
+		n.runDAIsolated(a, job, exec, release, deadline)
+	default:
+		n.enqueueShared(&queuedJob{
+			prio: 0, exec: exec,
+			onDone: func(started, finished sim.Time) {
+				a.complete(job, release, started, finished, deadline)
+			},
+		})
+	}
+}
+
+// runNDA dispatches non-deterministic work of the given duration.
+func (n *Node) runNDA(a *AppInstance, exec sim.Duration, done func()) {
+	switch n.mode {
+	case ModeIsolated:
+		n.runNDAIsolated(a, exec, done)
+	default:
+		n.enqueueShared(&queuedJob{
+			prio: 1, exec: exec,
+			onDone: func(_, _ sim.Time) { done() },
+		})
+	}
+}
+
+// --- Isolated mode -------------------------------------------------------
+
+func (n *Node) runDAIsolated(a *AppInstance, job int64, exec sim.Duration, release, deadline sim.Time) {
+	tbl := n.mgr.Table()
+	if tbl == nil {
+		// No deterministic task admitted — cannot happen for installed
+		// DAs, but guard anyway.
+		n.k.After(exec, func() { a.complete(job, release, n.k.Now(), n.k.Now(), deadline) })
+		return
+	}
+	h := tbl.Hyperperiod
+	off := release.Sub(n.epoch)
+	cycle := off / h
+	cycleStart := n.epoch.Add(cycle * h)
+	jobInH := int((release.Sub(cycleStart)) / a.Spec.Period)
+
+	var started, finished sim.Time
+	remaining := exec
+	for _, s := range tbl.SlotsFor(a.Spec.Name) {
+		if s.Job != jobInH {
+			continue
+		}
+		if started == 0 {
+			started = cycleStart.Add(s.Start)
+		}
+		if remaining <= s.Len() {
+			finished = cycleStart.Add(s.Start + remaining)
+			remaining = 0
+			break
+		}
+		remaining -= s.Len()
+		finished = cycleStart.Add(s.End)
+	}
+	if remaining > 0 || started == 0 {
+		// The table has no (or insufficient) slots for this job — it was
+		// synthesized before this release pattern (e.g. mid-transition).
+		// Fall back to completing at the deadline boundary.
+		started = release
+		finished = release.Add(exec)
+	}
+	n.k.At(finished, func() { a.complete(job, release, started, finished, deadline) })
+}
+
+// freeIntervals returns the idle gaps of the current table within one
+// hyperperiod.
+func (n *Node) freeIntervals() []struct{ start, end sim.Duration } {
+	tbl := n.mgr.Table()
+	var out []struct{ start, end sim.Duration }
+	if tbl == nil {
+		return out
+	}
+	cursor := sim.Duration(0)
+	for _, s := range tbl.Slots {
+		if s.Start > cursor {
+			out = append(out, struct{ start, end sim.Duration }{cursor, s.Start})
+		}
+		if s.End > cursor {
+			cursor = s.End
+		}
+	}
+	if cursor < tbl.Hyperperiod {
+		out = append(out, struct{ start, end sim.Duration }{cursor, tbl.Hyperperiod})
+	}
+	return out
+}
+
+func (n *Node) runNDAIsolated(a *AppInstance, exec sim.Duration, done func()) {
+	start := n.k.Now()
+	if c := n.ndaCursor; c > start {
+		start = c
+	}
+	tbl := n.mgr.Table()
+	if tbl == nil {
+		// No deterministic load: CPU is all gap.
+		finish := start.Add(exec)
+		n.ndaCursor = finish
+		n.k.At(finish, done)
+		return
+	}
+	free := n.freeIntervals()
+	var freePerHyper sim.Duration
+	for _, f := range free {
+		freePerHyper += f.end - f.start
+	}
+	if freePerHyper == 0 {
+		// Fully loaded table: the job starves. Record and drop.
+		n.diag.RecordFault(Fault{
+			App: a.Spec.Name, Kind: FaultStarvation, At: n.k.Now(),
+			Detail: "no idle time in schedule table",
+		})
+		return
+	}
+	h := tbl.Hyperperiod
+	// Walk gaps from `start` until exec is consumed.
+	t := start
+	remaining := exec
+	for remaining > 0 {
+		off := t.Sub(n.epoch)
+		if off < 0 {
+			// Before the schedule epoch everything is free.
+			pre := sim.Duration(-off)
+			if remaining <= pre {
+				t = t.Add(remaining)
+				remaining = 0
+				break
+			}
+			remaining -= pre
+			t = n.epoch
+			continue
+		}
+		inH := off % h
+		base := t.Add(-inH)
+		advanced := false
+		for _, f := range free {
+			if f.end <= inH {
+				continue
+			}
+			gs := f.start
+			if gs < inH {
+				gs = inH
+			}
+			avail := f.end - gs
+			if remaining <= avail {
+				t = base.Add(gs + remaining)
+				remaining = 0
+			} else {
+				remaining -= avail
+				t = base.Add(f.end)
+			}
+			advanced = true
+			if remaining == 0 {
+				break
+			}
+		}
+		if remaining > 0 {
+			// Next hyperperiod.
+			t = base.Add(h)
+			_ = advanced
+		}
+	}
+	n.ndaCursor = t
+	n.k.At(t, done)
+}
+
+// --- Shared mode ----------------------------------------------------------
+
+type queuedJob struct {
+	prio   int // 0 = deterministic (served first), 1 = background
+	exec   sim.Duration
+	seq    uint64
+	onDone func(started, finished sim.Time)
+}
+
+func (n *Node) enqueueShared(j *queuedJob) {
+	j.seq = n.seq
+	n.seq++
+	n.sharedQ = append(n.sharedQ, j)
+	n.serveShared()
+}
+
+func (n *Node) serveShared() {
+	if len(n.sharedQ) == 0 || n.k.Now() < n.sharedBusyUntil {
+		return
+	}
+	sort.SliceStable(n.sharedQ, func(i, k int) bool {
+		if n.sharedQ[i].prio != n.sharedQ[k].prio {
+			return n.sharedQ[i].prio < n.sharedQ[k].prio
+		}
+		return n.sharedQ[i].seq < n.sharedQ[k].seq
+	})
+	j := n.sharedQ[0]
+	n.sharedQ = n.sharedQ[1:]
+	started := n.k.Now()
+	finished := started.Add(j.exec)
+	n.sharedBusyUntil = finished
+	n.k.At(finished, func() {
+		j.onDone(started, finished)
+		n.serveShared()
+	})
+}

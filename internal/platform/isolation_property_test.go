@@ -1,0 +1,82 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/sim"
+	"dynaplat/internal/workload"
+)
+
+// The repository's central safety property, checked over random
+// workloads: in isolated mode, NO deterministic application EVER misses
+// a deadline, for any admitted DA set and any NDA load pattern.
+func TestIsolationPropertyRandomWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	check := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		k := sim.NewKernel(seed)
+		node := NewNode(k, model.ECU{Name: "cpm", CPUMHz: 100, MemoryKB: 1 << 20,
+			HasMMU: true, OS: model.OSRTOS}, ModeIsolated, 250*sim.Microsecond)
+
+		// Random DA set at up to 85% utilization; skip sets the admission
+		// control itself rejects (that is its prerogative).
+		nDA := rng.Range(1, 8)
+		u := 0.3 + 0.55*rng.Float64()
+		var das []*AppInstance
+		for _, task := range workload.ControlTasks(rng, nDA, u) {
+			app := model.App{Name: task.Name, Kind: model.Deterministic,
+				ASIL: model.ASILD, Period: task.Period, WCET: task.WCET,
+				Deadline: task.Period, MemoryKB: 16}
+			inst, err := node.Install(app, Behavior{
+				ExecTime: func(r *sim.RNG) sim.Duration {
+					// Variable execution up to WCET.
+					return sim.Duration(float64(task.WCET) * (0.3 + 0.7*r.Float64()))
+				},
+			})
+			if err != nil {
+				continue
+			}
+			inst.Start()
+			das = append(das, inst)
+		}
+		if len(das) == 0 {
+			return true // vacuous
+		}
+		// Random NDA bombardment.
+		nNDA := rng.Range(1, 3)
+		for i := 0; i < nNDA; i++ {
+			nda, err := node.Install(model.App{
+				Name: fmt.Sprintf("nda%d", i), Kind: model.NonDeterministic,
+				MemoryKB: 16}, Behavior{})
+			if err != nil {
+				return false
+			}
+			nda.Start()
+			src := &workload.BurstSource{}
+			src.Start(k, rng.Split(),
+				rng.DurationRange(sim.Millisecond, 20*sim.Millisecond),
+				sim.Millisecond, 50*sim.Millisecond,
+				func(d sim.Duration) { nda.Submit(d, nil) })
+		}
+		k.RunUntil(sim.Time(2 * sim.Second))
+		for _, da := range das {
+			if da.Misses > 0 {
+				t.Logf("seed %d: %s missed %d/%d", seed, da.Spec.Name,
+					da.Misses, da.Activations)
+				return false
+			}
+			if da.Activations == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MemoryManager implements the platform's process-separation model
+// (Section 3.1 "Memory"): every application gets a memory domain; on
+// hardware with an MMU each domain is a separate protected process, while
+// without one all domains share a single unprotected space. Co-locating
+// applications in one process (to limit process count) is an explicit
+// decision via Colocate.
+type MemoryManager struct {
+	totalKB int
+	hasMMU  bool
+	domains map[string]*Domain
+	// processOf maps app → process id. Apps sharing a process id share
+	// a protection boundary.
+	processOf map[string]int
+	nextProc  int
+}
+
+// Domain is one application's memory accounting.
+type Domain struct {
+	App      string
+	BudgetKB int
+	UsedKB   int
+	// Corrupted marks the domain as having been overwritten by a fault.
+	Corrupted bool
+}
+
+// NewMemoryManager creates a manager for an ECU with the given RAM.
+func NewMemoryManager(totalKB int, hasMMU bool) *MemoryManager {
+	return &MemoryManager{
+		totalKB:   totalKB,
+		hasMMU:    hasMMU,
+		domains:   map[string]*Domain{},
+		processOf: map[string]int{},
+	}
+}
+
+// HasMMU reports hardware memory protection.
+func (m *MemoryManager) HasMMU() bool { return m.hasMMU }
+
+// NewDomain allocates an app's memory domain. Without an MMU every app
+// lands in process 0 (no protection); with one, each app gets its own
+// process by default.
+func (m *MemoryManager) NewDomain(app string, budgetKB int) error {
+	if _, ok := m.domains[app]; ok {
+		return fmt.Errorf("platform: memory domain for %s exists", app)
+	}
+	if budgetKB < 0 {
+		return fmt.Errorf("platform: negative memory budget for %s", app)
+	}
+	if m.CommittedKB()+budgetKB > m.totalKB {
+		return fmt.Errorf("platform: out of memory: %dKB committed + %dKB > %dKB",
+			m.CommittedKB(), budgetKB, m.totalKB)
+	}
+	m.domains[app] = &Domain{App: app, BudgetKB: budgetKB}
+	if m.hasMMU {
+		m.nextProc++
+		m.processOf[app] = m.nextProc
+	} else {
+		m.processOf[app] = 0
+	}
+	return nil
+}
+
+// RemoveDomain frees an app's domain.
+func (m *MemoryManager) RemoveDomain(app string) {
+	delete(m.domains, app)
+	delete(m.processOf, app)
+}
+
+// Domain returns an app's domain, or nil.
+func (m *MemoryManager) Domain(app string) *Domain { return m.domains[app] }
+
+// CommittedKB sums all domain budgets.
+func (m *MemoryManager) CommittedKB() int {
+	total := 0
+	for _, d := range m.domains {
+		total += d.BudgetKB
+	}
+	return total
+}
+
+// Colocate moves b into a's process (reducing process count at the cost
+// of a shared protection boundary — the trade-off the paper highlights).
+// It fails without an MMU (everything already shares process 0) only in
+// the sense that it is a no-op.
+func (m *MemoryManager) Colocate(a, b string) error {
+	pa, okA := m.processOf[a]
+	_, okB := m.processOf[b]
+	if !okA || !okB {
+		return fmt.Errorf("platform: colocate: unknown app")
+	}
+	m.processOf[b] = pa
+	return nil
+}
+
+// SameProcess reports whether two apps share a protection boundary.
+func (m *MemoryManager) SameProcess(a, b string) bool {
+	pa, okA := m.processOf[a]
+	pb, okB := m.processOf[b]
+	return okA && okB && pa == pb
+}
+
+// ProcessCount returns the number of distinct processes in use.
+func (m *MemoryManager) ProcessCount() int {
+	seen := map[int]bool{}
+	for _, p := range m.processOf {
+		seen[p] = true
+	}
+	return len(seen)
+}
+
+// Use records memory consumption by an app. Exceeding the budget is an
+// error the runtime monitor turns into a fault.
+func (m *MemoryManager) Use(app string, kb int) error {
+	d, ok := m.domains[app]
+	if !ok {
+		return fmt.Errorf("platform: no memory domain for %s", app)
+	}
+	if d.UsedKB+kb > d.BudgetKB {
+		return fmt.Errorf("platform: %s exceeds memory budget: %d+%d > %dKB",
+			app, d.UsedKB, kb, d.BudgetKB)
+	}
+	d.UsedKB += kb
+	return nil
+}
+
+// Release returns memory to an app's budget.
+func (m *MemoryManager) Release(app string, kb int) {
+	if d, ok := m.domains[app]; ok {
+		d.UsedKB -= kb
+		if d.UsedKB < 0 {
+			d.UsedKB = 0
+		}
+	}
+}
+
+// InjectWildWrite simulates app performing a stray write (fault
+// injection, experiment E14): every domain in the same process is
+// corrupted. With per-process isolation only the faulty app's own domain
+// is hit. It returns the corrupted app names, sorted.
+func (m *MemoryManager) InjectWildWrite(app string) []string {
+	p, ok := m.processOf[app]
+	if !ok {
+		return nil
+	}
+	var hit []string
+	for other, d := range m.domains {
+		if m.processOf[other] == p {
+			d.Corrupted = true
+			hit = append(hit, other)
+		}
+	}
+	sort.Strings(hit)
+	return hit
+}

@@ -1,0 +1,161 @@
+package platform
+
+import (
+	"fmt"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/sim"
+)
+
+// ModeManager implements degradation-mode management: Section 3.3 notes
+// that an autonomous vehicle's safe state "might not necessarily be the
+// shutdown of the vehicle" — instead the platform sheds low-criticality
+// load and keeps safety functions operating (limp-home). Modes are
+// ordered policies; escalating to a stricter mode stops every
+// application below the mode's minimum ASIL, freeing CPU, memory and
+// bandwidth for what must keep running.
+
+// ModePolicy defines one operating mode.
+type ModePolicy struct {
+	// Name identifies the mode ("normal", "degraded", "limp-home").
+	Name string
+	// MinASIL is the lowest criticality allowed to run in this mode.
+	MinASIL model.ASIL
+}
+
+// DefaultModes returns the canonical three-stage policy set.
+func DefaultModes() []ModePolicy {
+	return []ModePolicy{
+		{Name: "normal", MinASIL: model.QM},
+		{Name: "degraded", MinASIL: model.ASILB},
+		{Name: "limp-home", MinASIL: model.ASILD},
+	}
+}
+
+// ModeTransition records one mode change.
+type ModeTransition struct {
+	At       sim.Time
+	From, To string
+	// Stopped and Resumed list affected applications.
+	Stopped []string
+	Resumed []string
+	Reason  string
+}
+
+// ModeManager supervises the platform's operating mode.
+type ModeManager struct {
+	p        *Platform
+	policies []ModePolicy
+	current  int
+
+	// Transitions logs every mode change.
+	Transitions []ModeTransition
+
+	// FaultEscalation, when > 0, escalates one mode automatically after
+	// that many faults of kind EscalateOn have been observed since the
+	// last transition.
+	FaultEscalation int
+	// EscalateOn selects the fault kind that drives auto-escalation.
+	EscalateOn FaultKind
+
+	faultsSeen int
+}
+
+// NewModeManager creates a manager starting in the first (least strict)
+// policy. It panics on an empty or unordered policy list.
+func NewModeManager(p *Platform, policies []ModePolicy) *ModeManager {
+	if len(policies) == 0 {
+		panic("platform: no mode policies")
+	}
+	for i := 1; i < len(policies); i++ {
+		if policies[i].MinASIL < policies[i-1].MinASIL {
+			panic("platform: mode policies must be ordered by rising MinASIL")
+		}
+	}
+	m := &ModeManager{p: p, policies: policies, EscalateOn: FaultDeadlineMiss}
+	// Watch every node's diagnosis stream for auto-escalation.
+	for _, ecu := range p.Nodes() {
+		node := p.Node(ecu)
+		prev := node.Diag().uplink
+		node.Diag().SetUplink(func(f Fault) {
+			if prev != nil {
+				prev(f)
+			}
+			m.onFault(f)
+		})
+	}
+	return m
+}
+
+// Current returns the active mode name.
+func (m *ModeManager) Current() string { return m.policies[m.current].Name }
+
+// onFault counts qualifying faults and escalates at the threshold.
+func (m *ModeManager) onFault(f Fault) {
+	if m.FaultEscalation <= 0 || f.Kind != m.EscalateOn {
+		return
+	}
+	m.faultsSeen++
+	if m.faultsSeen >= m.FaultEscalation {
+		m.Escalate(fmt.Sprintf("auto: %d %v faults", m.faultsSeen, m.EscalateOn))
+	}
+}
+
+// Escalate moves one mode stricter (no-op at the strictest mode).
+func (m *ModeManager) Escalate(reason string) {
+	if m.current+1 >= len(m.policies) {
+		return
+	}
+	m.setMode(m.current+1, reason)
+}
+
+// Relax moves one mode less strict (no-op at the base mode).
+func (m *ModeManager) Relax(reason string) {
+	if m.current == 0 {
+		return
+	}
+	m.setMode(m.current-1, reason)
+}
+
+// SetMode jumps to the named mode.
+func (m *ModeManager) SetMode(name, reason string) error {
+	for i, p := range m.policies {
+		if p.Name == name {
+			if i != m.current {
+				m.setMode(i, reason)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("platform: unknown mode %q", name)
+}
+
+func (m *ModeManager) setMode(target int, reason string) {
+	from := m.policies[m.current]
+	to := m.policies[target]
+	tr := ModeTransition{
+		At: m.p.Kernel().Now(), From: from.Name, To: to.Name, Reason: reason,
+	}
+	for _, ecu := range m.p.Nodes() {
+		node := m.p.Node(ecu)
+		for _, app := range node.Apps() {
+			inst := node.App(app)
+			allowed := inst.Spec.ASIL >= to.MinASIL
+			switch {
+			case !allowed && inst.State == StateRunning:
+				inst.Stop()
+				tr.Stopped = append(tr.Stopped, app)
+				node.Log().Logf("mode", "%s stopped entering %s", app, to.Name)
+			case allowed && inst.State == StateStopped && inst.Spec.ASIL < from.MinASIL:
+				// Was shed by a stricter mode; resume it.
+				if err := inst.Start(); err == nil {
+					tr.Resumed = append(tr.Resumed, app)
+					node.Log().Logf("mode", "%s resumed entering %s", app, to.Name)
+				}
+			}
+		}
+	}
+	m.current = target
+	m.faultsSeen = 0
+	m.Transitions = append(m.Transitions, tr)
+}

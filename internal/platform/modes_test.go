@@ -1,0 +1,175 @@
+package platform
+
+import (
+	"testing"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/sim"
+)
+
+func modesPlatform(t *testing.T) (*Platform, *Node) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	p := New(k, nil)
+	node, err := p.AddNode(rtosECU("cpm"), ModeIsolated, ms(1)/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install := func(name string, asil model.ASIL, kind model.AppKind) {
+		app := model.App{Name: name, Kind: kind, ASIL: asil, MemoryKB: 16}
+		if kind == model.Deterministic {
+			app.Period, app.WCET, app.Deadline = ms(10), ms(1), ms(10)
+		}
+		inst, err := node.Install(app, Behavior{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Start()
+	}
+	install("brake", model.ASILD, model.Deterministic)
+	install("lane", model.ASILB, model.Deterministic)
+	install("media", model.QM, model.NonDeterministic)
+	return p, node
+}
+
+func TestModeEscalationShedsLoad(t *testing.T) {
+	p, node := modesPlatform(t)
+	m := NewModeManager(p, DefaultModes())
+	if m.Current() != "normal" {
+		t.Fatalf("initial mode = %s", m.Current())
+	}
+	m.Escalate("driver reported fault")
+	if m.Current() != "degraded" {
+		t.Fatalf("mode = %s", m.Current())
+	}
+	// QM media stopped; ASIL-B and D still running.
+	if node.App("media").State != StateStopped {
+		t.Error("media still running in degraded mode")
+	}
+	if node.App("lane").State != StateRunning || node.App("brake").State != StateRunning {
+		t.Error("safety apps stopped in degraded mode")
+	}
+	m.Escalate("second fault")
+	if m.Current() != "limp-home" {
+		t.Fatalf("mode = %s", m.Current())
+	}
+	if node.App("lane").State != StateRunning && node.App("lane").Spec.ASIL >= model.ASILD {
+		t.Error("unexpected")
+	}
+	if node.App("lane").State != StateStopped {
+		t.Error("ASIL-B app running in limp-home")
+	}
+	if node.App("brake").State != StateRunning {
+		t.Error("ASIL-D app stopped in limp-home")
+	}
+	// At the top: escalate is a no-op.
+	m.Escalate("again")
+	if m.Current() != "limp-home" || len(m.Transitions) != 2 {
+		t.Errorf("mode = %s transitions = %d", m.Current(), len(m.Transitions))
+	}
+	// Transition log captured the shed apps.
+	if len(m.Transitions[0].Stopped) != 1 || m.Transitions[0].Stopped[0] != "media" {
+		t.Errorf("transition 0 = %+v", m.Transitions[0])
+	}
+}
+
+func TestModeRelaxResumes(t *testing.T) {
+	p, node := modesPlatform(t)
+	m := NewModeManager(p, DefaultModes())
+	m.Escalate("x")
+	m.Escalate("y")
+	m.Relax("fault cleared")
+	if m.Current() != "degraded" {
+		t.Fatalf("mode = %s", m.Current())
+	}
+	if node.App("lane").State != StateRunning {
+		t.Error("lane not resumed in degraded")
+	}
+	if node.App("media").State != StateStopped {
+		t.Error("media resumed too early")
+	}
+	m.Relax("all clear")
+	if node.App("media").State != StateRunning {
+		t.Error("media not resumed in normal")
+	}
+	m.Relax("below base") // no-op
+	if m.Current() != "normal" {
+		t.Errorf("mode = %s", m.Current())
+	}
+}
+
+func TestModeSetByName(t *testing.T) {
+	p, _ := modesPlatform(t)
+	m := NewModeManager(p, DefaultModes())
+	if err := m.SetMode("limp-home", "direct"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Current() != "limp-home" {
+		t.Errorf("mode = %s", m.Current())
+	}
+	if err := m.SetMode("warp", "x"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	// Setting the current mode again records no transition.
+	n := len(m.Transitions)
+	m.SetMode("limp-home", "again")
+	if len(m.Transitions) != n {
+		t.Error("no-op SetMode recorded a transition")
+	}
+}
+
+func TestModeAutoEscalationOnFaults(t *testing.T) {
+	p, node := modesPlatform(t)
+	m := NewModeManager(p, DefaultModes())
+	m.FaultEscalation = 3
+	for i := 0; i < 3; i++ {
+		node.Diag().RecordFault(Fault{App: "lane", Kind: FaultDeadlineMiss})
+	}
+	if m.Current() != "degraded" {
+		t.Fatalf("mode after 3 misses = %s", m.Current())
+	}
+	// Counter reset: two more faults are below the new threshold.
+	node.Diag().RecordFault(Fault{App: "lane", Kind: FaultDeadlineMiss})
+	node.Diag().RecordFault(Fault{App: "lane", Kind: FaultDeadlineMiss})
+	if m.Current() != "degraded" {
+		t.Errorf("premature escalation: %s", m.Current())
+	}
+	// Unrelated fault kinds do not count.
+	node.Diag().RecordFault(Fault{App: "x", Kind: FaultSecurity})
+	if m.Current() != "degraded" {
+		t.Errorf("wrong-kind fault escalated: %s", m.Current())
+	}
+}
+
+func TestModeManagerChainsExistingUplink(t *testing.T) {
+	p, node := modesPlatform(t)
+	got := 0
+	node.Diag().SetUplink(func(Fault) { got++ })
+	m := NewModeManager(p, DefaultModes())
+	m.FaultEscalation = 1
+	node.Diag().RecordFault(Fault{App: "a", Kind: FaultDeadlineMiss})
+	if got != 1 {
+		t.Error("pre-existing uplink lost")
+	}
+	if m.Current() != "degraded" {
+		t.Error("escalation lost")
+	}
+}
+
+func TestModePolicyValidation(t *testing.T) {
+	p, _ := modesPlatform(t)
+	for _, bad := range [][]ModePolicy{
+		nil,
+		{{Name: "a", MinASIL: model.ASILD}, {Name: "b", MinASIL: model.QM}},
+	} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("policies %v accepted", bad)
+				}
+			}()
+			NewModeManager(p, bad)
+		}()
+	}
+}

@@ -1,0 +1,106 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/sim"
+	"dynaplat/internal/soa"
+)
+
+// Platform is the vehicle-wide dynamic platform: it spans every ECU
+// running a Node and shares one SOA middleware ("logically located across
+// multiple hardware elements and operating systems", Section 1.1).
+type Platform struct {
+	k     *sim.Kernel
+	mw    *soa.Middleware
+	nodes map[string]*Node
+}
+
+// New creates an empty platform. mw may be nil when communication is not
+// under test.
+func New(k *sim.Kernel, mw *soa.Middleware) *Platform {
+	return &Platform{k: k, mw: mw, nodes: map[string]*Node{}}
+}
+
+// Kernel returns the simulation kernel.
+func (p *Platform) Kernel() *sim.Kernel { return p.k }
+
+// Middleware returns the shared SOA middleware (may be nil).
+func (p *Platform) Middleware() *soa.Middleware { return p.mw }
+
+// AddNode creates the platform runtime on an ECU.
+func (p *Platform) AddNode(ecu model.ECU, mode Mode, granularity sim.Duration) (*Node, error) {
+	if _, ok := p.nodes[ecu.Name]; ok {
+		return nil, fmt.Errorf("platform: node %s exists", ecu.Name)
+	}
+	n := NewNode(p.k, ecu, mode, granularity)
+	p.nodes[ecu.Name] = n
+	return n, nil
+}
+
+// Node returns the runtime on the named ECU, or nil.
+func (p *Platform) Node(ecu string) *Node { return p.nodes[ecu] }
+
+// Nodes returns the sorted ECU names with runtimes.
+func (p *Platform) Nodes() []string {
+	out := make([]string, 0, len(p.nodes))
+	for n := range p.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FindApp locates an installed application instance across nodes.
+func (p *Platform) FindApp(name string) (*AppInstance, *Node) {
+	names := p.Nodes()
+	for _, ecu := range names {
+		n := p.nodes[ecu]
+		if inst := n.App(name); inst != nil {
+			return inst, n
+		}
+	}
+	return nil, nil
+}
+
+// Deploy instantiates a validated model: one node per RTOS/POSIX ECU and
+// one Install per placed application. Behaviors default to WCET-exact
+// execution; callers refine them afterwards via Node.App(...).Behavior.
+func Deploy(p *Platform, sys *model.System, mode Mode, granularity sim.Duration) error {
+	if rep := model.Validate(sys); !rep.OK() {
+		return fmt.Errorf("platform: model invalid: %v", rep.Errors()[0])
+	}
+	for _, e := range sys.ECUs {
+		if _, err := p.AddNode(*e, mode, granularity); err != nil {
+			return err
+		}
+	}
+	for _, a := range sys.Apps {
+		ecu, placed := sys.Placement[a.Name]
+		if !placed {
+			continue
+		}
+		if _, err := p.nodes[ecu].Install(*a, Behavior{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartAll starts every installed application.
+func (p *Platform) StartAll() error {
+	for _, ecu := range p.Nodes() {
+		n := p.nodes[ecu]
+		for _, app := range n.Apps() {
+			inst := n.App(app)
+			if inst.State != StateRunning {
+				if err := inst.Start(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package monitor
+
+import (
+	"fmt"
+
+	"dynaplat/internal/platform"
+	"dynaplat/internal/sim"
+)
+
+// AliveSupervision is the watchdog-manager style complement to the
+// deterministic-app monitor: non-deterministic applications (which have
+// no periodic completions to observe) must report alive indications, and
+// the supervisor checks each supervision window for the expected count —
+// catching hangs, crash loops and runaway busy loops alike.
+type AliveSupervision struct {
+	k    *sim.Kernel
+	node *platform.Node
+
+	window  sim.Duration
+	entries map[string]*aliveEntry
+	ticker  *sim.Ticker
+
+	// Violations lists every failed supervision window.
+	Violations []AliveViolation
+}
+
+type aliveEntry struct {
+	min, max int
+	count    int
+	// failed latches after the first violation until the app reports
+	// again (avoids flooding).
+	failed bool
+}
+
+// AliveViolation records one failed window.
+type AliveViolation struct {
+	App      string
+	At       sim.Time
+	Count    int
+	Min, Max int
+}
+
+// NewAliveSupervision creates a supervisor checking every window.
+func NewAliveSupervision(node *platform.Node, window sim.Duration) *AliveSupervision {
+	if window <= 0 {
+		panic("monitor: non-positive supervision window")
+	}
+	s := &AliveSupervision{
+		k:       node.Kernel(),
+		node:    node,
+		window:  window,
+		entries: map[string]*aliveEntry{},
+	}
+	s.ticker = s.k.Every(s.k.Now().Add(window), window, s.check)
+	return s
+}
+
+// Supervise registers an app that must report between min and max alive
+// indications per window.
+func (s *AliveSupervision) Supervise(app string, min, max int) error {
+	if s.node.App(app) == nil {
+		return fmt.Errorf("monitor: app %s not installed", app)
+	}
+	if min < 0 || max < min {
+		return fmt.Errorf("monitor: invalid alive bounds [%d,%d]", min, max)
+	}
+	s.entries[app] = &aliveEntry{min: min, max: max}
+	return nil
+}
+
+// Forget stops supervising an app.
+func (s *AliveSupervision) Forget(app string) { delete(s.entries, app) }
+
+// Alive is the checkpoint the supervised application calls.
+func (s *AliveSupervision) Alive(app string) {
+	if e, ok := s.entries[app]; ok {
+		e.count++
+		e.failed = false
+	}
+}
+
+// Stop halts supervision.
+func (s *AliveSupervision) Stop() { s.ticker.Stop() }
+
+func (s *AliveSupervision) check() {
+	for app, e := range s.entries {
+		bad := e.count < e.min || e.count > e.max
+		if bad && !e.failed {
+			v := AliveViolation{App: app, At: s.k.Now(), Count: e.count, Min: e.min, Max: e.max}
+			s.Violations = append(s.Violations, v)
+			s.node.Diag().RecordFault(platform.Fault{
+				App: app, Kind: platform.FaultHeartbeatLost, At: s.k.Now(),
+				Detail: fmt.Sprintf("alive count %d outside [%d,%d]", e.count, e.min, e.max),
+			})
+			e.failed = true
+		}
+		e.count = 0
+	}
+}

@@ -1,0 +1,133 @@
+package monitor
+
+import (
+	"testing"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/platform"
+	"dynaplat/internal/sim"
+)
+
+func ndaNode(t *testing.T) (*platform.Node, *platform.AppInstance) {
+	t.Helper()
+	n := newNode(t, platform.ModeIsolated)
+	inst, err := n.Install(model.App{Name: "svc", Kind: model.NonDeterministic,
+		MemoryKB: 64}, platform.Behavior{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Start()
+	return n, inst
+}
+
+func TestAliveHealthyAppPasses(t *testing.T) {
+	n, _ := ndaNode(t)
+	s := NewAliveSupervision(n, 100*sim.Millisecond)
+	if err := s.Supervise("svc", 1, 20); err != nil {
+		t.Fatal(err)
+	}
+	k := n.Kernel()
+	k.Every(0, 10*sim.Millisecond, func() { s.Alive("svc") })
+	k.RunUntil(sim.Time(sim.Second))
+	if len(s.Violations) != 0 {
+		t.Errorf("violations on healthy app: %+v", s.Violations)
+	}
+}
+
+func TestAliveDetectsHang(t *testing.T) {
+	n, _ := ndaNode(t)
+	s := NewAliveSupervision(n, 100*sim.Millisecond)
+	s.Supervise("svc", 1, 20)
+	k := n.Kernel()
+	tick := k.Every(0, 10*sim.Millisecond, func() { s.Alive("svc") })
+	hangAt := sim.Time(500 * sim.Millisecond)
+	k.At(hangAt, func() { tick.Stop() }) // the app hangs
+	k.RunUntil(sim.Time(sim.Second))
+	if len(s.Violations) != 1 {
+		t.Fatalf("violations = %+v (latching should cap at 1)", s.Violations)
+	}
+	v := s.Violations[0]
+	if v.App != "svc" || v.At < hangAt {
+		t.Errorf("violation = %+v", v)
+	}
+	// Detection within one window + epsilon of the hang.
+	if v.At.Sub(hangAt) > 200*sim.Millisecond {
+		t.Errorf("detection took %v", v.At.Sub(hangAt))
+	}
+	if n.Diag().CountKind(platform.FaultHeartbeatLost) != 1 {
+		t.Error("fault not recorded")
+	}
+}
+
+func TestAliveDetectsRunaway(t *testing.T) {
+	n, _ := ndaNode(t)
+	s := NewAliveSupervision(n, 100*sim.Millisecond)
+	s.Supervise("svc", 1, 5)
+	k := n.Kernel()
+	k.Every(0, sim.Millisecond, func() { s.Alive("svc") }) // 100/window ≫ max 5
+	k.RunUntil(sim.Time(300 * sim.Millisecond))
+	if len(s.Violations) == 0 {
+		t.Fatal("runaway not detected")
+	}
+	if s.Violations[0].Count <= 5 {
+		t.Errorf("violation = %+v", s.Violations[0])
+	}
+}
+
+func TestAliveRecoveryUnlatches(t *testing.T) {
+	n, _ := ndaNode(t)
+	s := NewAliveSupervision(n, 100*sim.Millisecond)
+	s.Supervise("svc", 1, 20)
+	k := n.Kernel()
+	// Healthy → hang (2 windows) → healthy → hang again.
+	var tick *sim.Ticker
+	start := func() { tick = k.Every(k.Now(), 10*sim.Millisecond, func() { s.Alive("svc") }) }
+	start()
+	k.At(sim.Time(200*sim.Millisecond), func() { tick.Stop() })
+	k.At(sim.Time(500*sim.Millisecond), func() { start() })
+	k.At(sim.Time(700*sim.Millisecond), func() { tick.Stop() })
+	k.RunUntil(sim.Time(sim.Second))
+	if len(s.Violations) != 2 {
+		t.Errorf("violations = %d, want 2 (one per hang episode)", len(s.Violations))
+	}
+}
+
+func TestAliveValidation(t *testing.T) {
+	n, _ := ndaNode(t)
+	s := NewAliveSupervision(n, 100*sim.Millisecond)
+	if err := s.Supervise("ghost", 1, 2); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := s.Supervise("svc", -1, 2); err == nil {
+		t.Error("negative min accepted")
+	}
+	if err := s.Supervise("svc", 3, 2); err == nil {
+		t.Error("max < min accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero window accepted")
+			}
+		}()
+		NewAliveSupervision(n, 0)
+	}()
+}
+
+func TestAliveForgetAndStop(t *testing.T) {
+	n, _ := ndaNode(t)
+	s := NewAliveSupervision(n, 50*sim.Millisecond)
+	s.Supervise("svc", 1, 10)
+	s.Forget("svc")
+	k := n.Kernel()
+	k.RunUntil(sim.Time(300 * sim.Millisecond))
+	if len(s.Violations) != 0 {
+		t.Error("forgotten app flagged")
+	}
+	s.Supervise("svc", 1, 10)
+	s.Stop()
+	k.RunUntil(sim.Time(600 * sim.Millisecond))
+	if len(s.Violations) != 0 {
+		t.Error("stopped supervisor flagged")
+	}
+}

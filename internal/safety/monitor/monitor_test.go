@@ -1,0 +1,180 @@
+package monitor
+
+import (
+	"testing"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/platform"
+	"dynaplat/internal/sim"
+)
+
+func ms(n int64) sim.Duration { return sim.Duration(n) * sim.Millisecond }
+
+func newNode(t *testing.T, mode platform.Mode) *platform.Node {
+	t.Helper()
+	k := sim.NewKernel(1)
+	return platform.NewNode(k, model.ECU{Name: "cpm", CPUMHz: 100, MemoryKB: 1024,
+		HasMMU: true, OS: model.OSRTOS}, mode, ms(1)/2)
+}
+
+func daSpec(jitter sim.Duration) model.App {
+	return model.App{Name: "ctl", Kind: model.Deterministic, ASIL: model.ASILC,
+		Period: ms(10), WCET: ms(2), Deadline: ms(10), Jitter: jitter, MemoryKB: 128}
+}
+
+func TestCleanRunNoDetections(t *testing.T) {
+	n := newNode(t, platform.ModeIsolated)
+	inst, _ := n.Install(daSpec(ms(1)), platform.Behavior{})
+	m := New(n, DefaultConfig())
+	if err := m.Watch("ctl"); err != nil {
+		t.Fatal(err)
+	}
+	inst.Start()
+	n.Kernel().RunUntil(sim.Time(ms(500)))
+	if len(m.Detections) != 0 {
+		t.Errorf("detections on clean run: %+v", m.Detections)
+	}
+	if m.EventsSeen != 50 {
+		t.Errorf("events = %d, want 50", m.EventsSeen)
+	}
+	if m.OverheadFraction() <= 0 || m.OverheadFraction() > 0.001 {
+		t.Errorf("overhead = %v", m.OverheadFraction())
+	}
+	rec, err := m.Certify("ctl")
+	if err != nil || rec.Activations != 50 || rec.Misses != 0 || rec.Detections != 0 {
+		t.Errorf("certify = %+v %v", rec, err)
+	}
+	if rec.MaxResponse != ms(2) {
+		t.Errorf("max response = %v", rec.MaxResponse)
+	}
+}
+
+func TestDetectsDeadlineMiss(t *testing.T) {
+	// In shared mode a long NDA job blocks the DA past its deadline.
+	n := newNode(t, platform.ModeShared)
+	da, _ := n.Install(daSpec(0), platform.Behavior{})
+	nda, _ := n.Install(model.App{Name: "bg", Kind: model.NonDeterministic, MemoryKB: 64},
+		platform.Behavior{})
+	m := New(n, DefaultConfig())
+	m.Watch("ctl")
+	var uplinked []Detection
+	m.SetUplink(func(d Detection) { uplinked = append(uplinked, d) })
+	da.Start()
+	nda.Start()
+	k := n.Kernel()
+	k.At(sim.Time(ms(15)), func() { nda.Submit(ms(30), nil) })
+	k.RunUntil(sim.Time(ms(100)))
+	found := false
+	for _, d := range m.Detections {
+		if d.Kind == platform.FaultDeadlineMiss {
+			found = true
+			if d.Latency() < 0 {
+				t.Errorf("negative detection latency: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("deadline miss not detected; detections = %+v", m.Detections)
+	}
+	if len(uplinked) == 0 {
+		t.Error("uplink not invoked")
+	}
+	if len(m.DetectionsOf("ctl")) == 0 || len(m.DetectionsOf("ghost")) != 0 {
+		t.Error("DetectionsOf filtering wrong")
+	}
+}
+
+func TestDetectsResponseJitter(t *testing.T) {
+	// Shared mode + sporadic NDA interference varies DA response times
+	// beyond the 100us bound.
+	n := newNode(t, platform.ModeShared)
+	da, _ := n.Install(daSpec(100*sim.Microsecond), platform.Behavior{})
+	nda, _ := n.Install(model.App{Name: "bg", Kind: model.NonDeterministic, MemoryKB: 64},
+		platform.Behavior{})
+	m := New(n, DefaultConfig())
+	m.Watch("ctl")
+	da.Start()
+	nda.Start()
+	k := n.Kernel()
+	// Submit just before a release so the non-preemptive NDA job blocks
+	// the 50ms activation and stretches its response.
+	k.At(sim.Time(ms(49)), func() { nda.Submit(ms(5), nil) })
+	k.RunUntil(sim.Time(ms(300)))
+	found := false
+	for _, d := range m.Detections {
+		if d.Kind == platform.FaultJitterExceeded {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("jitter not detected; detections = %+v", m.Detections)
+	}
+}
+
+func TestDetectsMemoryPressure(t *testing.T) {
+	n := newNode(t, platform.ModeIsolated)
+	inst, _ := n.Install(daSpec(0), platform.Behavior{})
+	cfg := DefaultConfig()
+	cfg.MemoryPollPeriod = ms(10)
+	m := New(n, cfg)
+	m.Watch("ctl")
+	inst.Start()
+	k := n.Kernel()
+	k.At(sim.Time(ms(25)), func() {
+		if err := n.Memory().Use("ctl", 120); err != nil { // 120/128 = 94%
+			t.Errorf("Use: %v", err)
+		}
+	})
+	k.RunUntil(sim.Time(ms(60)))
+	found := 0
+	for _, d := range m.Detections {
+		if d.Kind == platform.FaultMemoryBudget {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatalf("memory pressure not detected: %+v", m.Detections)
+	}
+	// Detection latency bounded by the poll period.
+	for _, d := range m.Detections {
+		if d.Kind == platform.FaultMemoryBudget && d.DetectedAt < sim.Time(ms(25)) {
+			t.Error("detected before fault injected")
+		}
+	}
+}
+
+func TestWatchValidation(t *testing.T) {
+	n := newNode(t, platform.ModeIsolated)
+	m := New(n, DefaultConfig())
+	if err := m.Watch("ghost"); err == nil {
+		t.Error("watching unknown app succeeded")
+	}
+	if _, err := m.Certify("ghost"); err == nil {
+		t.Error("certifying unknown app succeeded")
+	}
+}
+
+func TestUnwatchStopsDetection(t *testing.T) {
+	n := newNode(t, platform.ModeShared)
+	da, _ := n.Install(daSpec(0), platform.Behavior{})
+	m := New(n, DefaultConfig())
+	m.Watch("ctl")
+	m.Unwatch("ctl")
+	da.Start()
+	n.Kernel().RunUntil(sim.Time(ms(100)))
+	if m.EventsSeen != 0 {
+		t.Errorf("events seen after Unwatch: %d", m.EventsSeen)
+	}
+}
+
+func TestMonitorOverheadScalesWithEvents(t *testing.T) {
+	n := newNode(t, platform.ModeIsolated)
+	inst, _ := n.Install(daSpec(0), platform.Behavior{})
+	m := New(n, DefaultConfig())
+	m.Watch("ctl")
+	inst.Start()
+	n.Kernel().RunUntil(sim.Time(ms(1000)))
+	if m.AccountedCost != sim.Duration(m.EventsSeen)*DefaultConfig().PerEventCost {
+		t.Errorf("cost %v for %d events", m.AccountedCost, m.EventsSeen)
+	}
+}

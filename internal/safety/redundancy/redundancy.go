@@ -1,0 +1,246 @@
+// Package redundancy implements the paper's Section 3.3 fail-operational
+// mechanisms: applications are instantiated multiple times across ECUs in
+// a master/slave fashion (as in the RACE platform, references [1, 15]);
+// the master's heartbeats are monitored and a slave is promoted when the
+// master dies, so the function keeps operating instead of shutting down.
+package redundancy
+
+import (
+	"fmt"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/platform"
+	"dynaplat/internal/sim"
+)
+
+// Config tunes failure detection and promotion.
+type Config struct {
+	// HeartbeatPeriod is the master's heartbeat interval.
+	HeartbeatPeriod sim.Duration
+	// MissThreshold is how many consecutive missing heartbeats declare
+	// the master dead.
+	MissThreshold int
+	// PromotionDelay is the time a slave needs to take over (state
+	// re-validation, output enable).
+	PromotionDelay sim.Duration
+}
+
+// DefaultConfig returns a 10 ms heartbeat with a 3-miss threshold
+// (ablation A3 sweeps these).
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatPeriod: 10 * sim.Millisecond,
+		MissThreshold:   3,
+		PromotionDelay:  5 * sim.Millisecond,
+	}
+}
+
+// Event records one failover.
+type Event struct {
+	Group      string
+	FailedECU  string
+	DetectedAt sim.Time
+	PromotedAt sim.Time
+	NewMaster  string
+	// ServiceGap is the span from the last master output before the
+	// failure to the first output of the new master.
+	ServiceGap sim.Duration
+}
+
+// Group is one replicated application: instance 0..n-1 across distinct
+// nodes, exactly one of which is master at any time.
+type Group struct {
+	mgr       *Manager
+	logical   string
+	cfg       Config
+	instances []*platform.AppInstance
+	nodes     []*platform.Node
+	master    int
+	alive     []bool
+
+	lastBeat   sim.Time
+	lastOutput sim.Time
+	ticker     *sim.Ticker
+	promoting  bool
+
+	// OnOutput is invoked on every master activation (the replicated
+	// function's externally visible service).
+	OnOutput func(job int64)
+
+	// Failovers lists every completed failover.
+	Failovers []Event
+	// Outputs counts externally visible activations.
+	Outputs int64
+}
+
+// Manager creates and supervises replicated groups.
+type Manager struct {
+	k      *sim.Kernel
+	p      *platform.Platform
+	groups map[string]*Group
+}
+
+// NewManager creates a redundancy manager on the platform.
+func NewManager(p *platform.Platform) *Manager {
+	return &Manager{k: p.Kernel(), p: p, groups: map[string]*Group{}}
+}
+
+// Group returns a replicated group by logical name, or nil.
+func (m *Manager) Group(logical string) *Group { return m.groups[logical] }
+
+// Replicate installs spec on each named ECU (suffixing instance names
+// with their replica index) and returns the group. The first node hosts
+// the initial master. Spec.Replicas is ignored in favor of len(ecus).
+func (m *Manager) Replicate(spec model.App, ecus []string, b platform.Behavior, cfg Config) (*Group, error) {
+	if len(ecus) < 2 {
+		return nil, fmt.Errorf("redundancy: need ≥ 2 ECUs, got %d", len(ecus))
+	}
+	if cfg.HeartbeatPeriod <= 0 || cfg.MissThreshold <= 0 {
+		return nil, fmt.Errorf("redundancy: invalid config %+v", cfg)
+	}
+	g := &Group{mgr: m, logical: spec.Name, cfg: cfg, master: 0}
+	for i, ecu := range ecus {
+		node := m.p.Node(ecu)
+		if node == nil {
+			return nil, fmt.Errorf("redundancy: no node on ECU %s", ecu)
+		}
+		inst := spec
+		inst.Name = fmt.Sprintf("%s/r%d", spec.Name, i)
+		idx := i
+		behavior := b
+		userHook := b.OnActivate
+		behavior.OnActivate = func(job int64) {
+			g.onActivate(idx, job)
+			if userHook != nil && idx == g.master {
+				userHook(job)
+			}
+		}
+		ai, err := node.Install(inst, behavior)
+		if err != nil {
+			return nil, fmt.Errorf("redundancy: replica %d on %s: %w", i, ecu, err)
+		}
+		g.instances = append(g.instances, ai)
+		g.nodes = append(g.nodes, node)
+		g.alive = append(g.alive, true)
+	}
+	m.groups[spec.Name] = g
+	return g, nil
+}
+
+// Start runs every replica (hot standby: slaves execute but only the
+// master's outputs are externally visible) and begins heartbeat
+// supervision.
+func (g *Group) Start() error {
+	for _, inst := range g.instances {
+		if err := inst.Start(); err != nil {
+			return err
+		}
+	}
+	g.lastBeat = g.mgr.k.Now()
+	g.ticker = g.mgr.k.Every(g.mgr.k.Now().Add(g.cfg.HeartbeatPeriod), g.cfg.HeartbeatPeriod, g.supervise)
+	return nil
+}
+
+// Stop halts supervision and all replicas.
+func (g *Group) Stop() {
+	if g.ticker != nil {
+		g.ticker.Stop()
+	}
+	for _, inst := range g.instances {
+		inst.Stop()
+	}
+}
+
+// Master returns the current master's instance.
+func (g *Group) Master() *platform.AppInstance { return g.instances[g.master] }
+
+// onActivate handles a replica's activation: the master's activations are
+// the service output and double as heartbeats.
+func (g *Group) onActivate(idx int, _ int64) {
+	if idx != g.master || !g.alive[idx] {
+		return
+	}
+	now := g.mgr.k.Now()
+	g.lastBeat = now
+	g.lastOutput = now
+	g.Outputs++
+	if g.OnOutput != nil {
+		g.OnOutput(g.Outputs)
+	}
+}
+
+// supervise checks heartbeat freshness and fails over when the master has
+// been silent for MissThreshold periods.
+func (g *Group) supervise() {
+	if g.promoting {
+		return
+	}
+	now := g.mgr.k.Now()
+	silent := now.Sub(g.lastBeat)
+	if silent < sim.Duration(g.cfg.MissThreshold)*g.cfg.HeartbeatPeriod {
+		return
+	}
+	// Master considered dead.
+	failed := g.master
+	g.alive[failed] = false
+	g.nodes[failed].Diag().RecordFault(platform.Fault{
+		App: g.instances[failed].Spec.Name, Kind: platform.FaultHeartbeatLost,
+		At: now, Detail: fmt.Sprintf("silent for %v", silent),
+	})
+	next := -1
+	for i := range g.instances {
+		if g.alive[i] && g.instances[i].State == platform.StateRunning {
+			next = i
+			break
+		}
+	}
+	if next < 0 {
+		return // no live replica: the function is lost
+	}
+	detected := now
+	lastOut := g.lastOutput
+	g.promoting = true
+	g.mgr.k.After(g.cfg.PromotionDelay, func() {
+		g.master = next
+		// Grace period: the new master gets a fresh heartbeat window.
+		g.lastBeat = g.mgr.k.Now()
+		g.promoting = false
+		// The new master's next activation produces output; record the
+		// failover once it does.
+		prevOutputs := g.Outputs
+		polls := 0
+		var poll func()
+		poll = func() {
+			polls++
+			if polls > 1000 {
+				return // new master never produced output; give up
+			}
+			if g.Outputs > prevOutputs {
+				g.Failovers = append(g.Failovers, Event{
+					Group:      g.logical,
+					FailedECU:  g.nodes[failed].ECU().Name,
+					DetectedAt: detected,
+					PromotedAt: g.mgr.k.Now(),
+					NewMaster:  g.instances[next].Spec.Name,
+					ServiceGap: g.mgr.k.Now().Sub(lastOut),
+				})
+				return
+			}
+			g.mgr.k.After(g.cfg.HeartbeatPeriod/2, poll)
+		}
+		poll()
+	})
+}
+
+// FailECU simulates a hard ECU failure: every application instance on the
+// node stops immediately (Section 3.3's highway scenario).
+func (m *Manager) FailECU(ecu string) error {
+	node := m.p.Node(ecu)
+	if node == nil {
+		return fmt.Errorf("redundancy: unknown ECU %s", ecu)
+	}
+	for _, app := range node.Apps() {
+		node.App(app).Stop()
+	}
+	return nil
+}

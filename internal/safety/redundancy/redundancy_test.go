@@ -1,0 +1,201 @@
+package redundancy
+
+import (
+	"testing"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/platform"
+	"dynaplat/internal/sim"
+)
+
+func ms(n int64) sim.Duration { return sim.Duration(n) * sim.Millisecond }
+
+func newPlatform(t *testing.T, ecus ...string) *platform.Platform {
+	t.Helper()
+	k := sim.NewKernel(1)
+	p := platform.New(k, nil)
+	for _, e := range ecus {
+		_, err := p.AddNode(model.ECU{Name: e, CPUMHz: 100, MemoryKB: 1024,
+			HasMMU: true, OS: model.OSRTOS}, platform.ModeIsolated, ms(1)/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func steerSpec() model.App {
+	return model.App{Name: "steer", Kind: model.Deterministic, ASIL: model.ASILD,
+		Period: ms(10), WCET: ms(2), Deadline: ms(10), MemoryKB: 64, Replicas: 2}
+}
+
+func TestReplicateAndRun(t *testing.T) {
+	p := newPlatform(t, "cpm1", "cpm2")
+	m := NewManager(p)
+	g, err := m.Replicate(steerSpec(), []string{"cpm1", "cpm2"}, platform.Behavior{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.Kernel().RunUntil(sim.Time(ms(200)))
+	if g.Outputs < 18 {
+		t.Errorf("outputs = %d, want ~20", g.Outputs)
+	}
+	if len(g.Failovers) != 0 {
+		t.Errorf("spurious failovers: %+v", g.Failovers)
+	}
+	// Both replicas execute (hot standby), only the master produces
+	// externally visible output.
+	r0, _ := p.FindApp("steer/r0")
+	r1, _ := p.FindApp("steer/r1")
+	if r0.Activations == 0 || r1.Activations == 0 {
+		t.Error("standby replica not executing")
+	}
+	if g.Master() != r0 {
+		t.Error("initial master should be replica 0")
+	}
+}
+
+func TestFailoverPromotesSlave(t *testing.T) {
+	p := newPlatform(t, "cpm1", "cpm2")
+	m := NewManager(p)
+	cfg := DefaultConfig()
+	g, err := m.Replicate(steerSpec(), []string{"cpm1", "cpm2"}, platform.Behavior{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	k := p.Kernel()
+	k.At(sim.Time(ms(100)), func() { m.FailECU("cpm1") })
+	k.RunUntil(sim.Time(ms(500)))
+	if len(g.Failovers) != 1 {
+		t.Fatalf("failovers = %+v", g.Failovers)
+	}
+	ev := g.Failovers[0]
+	if ev.FailedECU != "cpm1" || ev.NewMaster != "steer/r1" {
+		t.Errorf("event = %+v", ev)
+	}
+	// Detection bounded by MissThreshold × heartbeat (+1 supervision tick).
+	maxDetect := sim.Duration(cfg.MissThreshold+1) * cfg.HeartbeatPeriod
+	if d := ev.DetectedAt.Sub(sim.Time(ms(100))); d > maxDetect {
+		t.Errorf("detection took %v, bound %v", d, maxDetect)
+	}
+	if ev.ServiceGap <= 0 || ev.ServiceGap > ms(100) {
+		t.Errorf("service gap = %v", ev.ServiceGap)
+	}
+	// Service continues after failover.
+	before := g.Outputs
+	k.RunUntil(sim.Time(ms(800)))
+	if g.Outputs <= before {
+		t.Error("no outputs after failover")
+	}
+}
+
+func TestFailoverCascade(t *testing.T) {
+	// Three replicas survive two successive ECU failures.
+	p := newPlatform(t, "a", "b", "c")
+	m := NewManager(p)
+	g, err := m.Replicate(steerSpec(), []string{"a", "b", "c"}, platform.Behavior{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	k := p.Kernel()
+	k.At(sim.Time(ms(100)), func() { m.FailECU("a") })
+	k.At(sim.Time(ms(400)), func() { m.FailECU("b") })
+	k.RunUntil(sim.Time(ms(900)))
+	if len(g.Failovers) != 2 {
+		t.Fatalf("failovers = %d: %+v", len(g.Failovers), g.Failovers)
+	}
+	if g.Failovers[1].NewMaster != "steer/r2" {
+		t.Errorf("second failover = %+v", g.Failovers[1])
+	}
+	before := g.Outputs
+	k.RunUntil(sim.Time(ms(1200)))
+	if g.Outputs <= before {
+		t.Error("service dead after cascade")
+	}
+}
+
+func TestAllReplicasDead(t *testing.T) {
+	p := newPlatform(t, "a", "b")
+	m := NewManager(p)
+	g, _ := m.Replicate(steerSpec(), []string{"a", "b"}, platform.Behavior{}, DefaultConfig())
+	g.Start()
+	k := p.Kernel()
+	k.At(sim.Time(ms(50)), func() { m.FailECU("a"); m.FailECU("b") })
+	k.RunUntil(sim.Time(ms(600)))
+	// One failover may be recorded (promotion attempted) but no outputs
+	// after both die.
+	outputsAt600 := g.Outputs
+	k.RunUntil(sim.Time(ms(900)))
+	if g.Outputs != outputsAt600 {
+		t.Error("outputs from dead replicas")
+	}
+}
+
+func TestHeartbeatPeriodBoundsDetection(t *testing.T) {
+	// Ablation A3: halving the heartbeat period halves detection latency.
+	detect := func(period sim.Duration) sim.Duration {
+		p := newPlatform(t, "x", "y")
+		m := NewManager(p)
+		cfg := Config{HeartbeatPeriod: period, MissThreshold: 3, PromotionDelay: ms(1)}
+		g, err := m.Replicate(steerSpec(), []string{"x", "y"}, platform.Behavior{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		k := p.Kernel()
+		fail := sim.Time(ms(100))
+		k.At(fail, func() { m.FailECU("x") })
+		k.RunUntil(sim.Time(ms(2000)))
+		if len(g.Failovers) != 1 {
+			t.Fatalf("period %v: failovers = %d", period, len(g.Failovers))
+		}
+		return g.Failovers[0].DetectedAt.Sub(fail)
+	}
+	fast := detect(ms(5))
+	slow := detect(ms(40))
+	if fast >= slow {
+		t.Errorf("detection: fast HB %v !< slow HB %v", fast, slow)
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	p := newPlatform(t, "only")
+	m := NewManager(p)
+	if _, err := m.Replicate(steerSpec(), []string{"only"}, platform.Behavior{}, DefaultConfig()); err == nil {
+		t.Error("single-ECU replication accepted")
+	}
+	if _, err := m.Replicate(steerSpec(), []string{"only", "ghost"}, platform.Behavior{}, DefaultConfig()); err == nil {
+		t.Error("unknown ECU accepted")
+	}
+	bad := DefaultConfig()
+	bad.MissThreshold = 0
+	p2 := newPlatform(t, "a", "b")
+	if _, err := NewManager(p2).Replicate(steerSpec(), []string{"a", "b"}, platform.Behavior{}, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if err := m.FailECU("ghost"); err == nil {
+		t.Error("FailECU(ghost) succeeded")
+	}
+}
+
+func TestUserOnActivateOnlyOnMaster(t *testing.T) {
+	p := newPlatform(t, "a", "b")
+	m := NewManager(p)
+	calls := 0
+	g, err := m.Replicate(steerSpec(), []string{"a", "b"},
+		platform.Behavior{OnActivate: func(int64) { calls++ }}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	p.Kernel().RunUntil(sim.Time(ms(100)))
+	// 10 periods → ~10 master activations; slaves must not double it.
+	if calls < 9 || calls > 11 {
+		t.Errorf("user hook calls = %d, want ~10", calls)
+	}
+}

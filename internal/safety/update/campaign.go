@@ -1,0 +1,148 @@
+package update
+
+import (
+	"fmt"
+	"sort"
+
+	"dynaplat/internal/sim"
+)
+
+// Campaign models the fleet side of the paper's update story: "dynamic
+// behavior over the lifetime of a vehicle fleet" (abstract) with updates
+// "created and rolled out to remedy the detected error" (§3.4). A
+// campaign rolls an update across a vehicle fleet in waves (canary
+// first), watching the fault-report rate and halting automatically when
+// a wave exceeds the failure budget — the backend-side dual of the
+// on-vehicle staged update.
+
+// VehicleUpdater applies the update to one vehicle and reports success.
+// In production this is an OTA session; in tests it is a closure over a
+// per-vehicle simulation.
+type VehicleUpdater func(vehicle string, done func(ok bool))
+
+// CampaignConfig tunes the rollout.
+type CampaignConfig struct {
+	// WaveFractions sizes each wave as a fraction of the fleet, in
+	// order; fractions must be positive and sum to ≤ 1. The remainder
+	// joins the last wave.
+	WaveFractions []float64
+	// MaxFailureRate halts the campaign when a completed wave's failure
+	// rate exceeds it.
+	MaxFailureRate float64
+	// WaveGap is the observation pause between waves.
+	WaveGap sim.Duration
+}
+
+// DefaultCampaignConfig returns a 1% canary, 10%, then full rollout.
+func DefaultCampaignConfig() CampaignConfig {
+	return CampaignConfig{
+		WaveFractions:  []float64{0.01, 0.10, 0.89},
+		MaxFailureRate: 0.05,
+		WaveGap:        sim.Second,
+	}
+}
+
+// WaveReport summarizes one wave.
+type WaveReport struct {
+	Wave     int
+	Vehicles int
+	Failed   int
+}
+
+// FailureRate returns the wave's failure fraction.
+func (w WaveReport) FailureRate() float64 {
+	if w.Vehicles == 0 {
+		return 0
+	}
+	return float64(w.Failed) / float64(w.Vehicles)
+}
+
+// CampaignReport summarizes the rollout.
+type CampaignReport struct {
+	Waves   []WaveReport
+	Halted  bool
+	Updated int
+	Failed  int
+}
+
+// RunCampaign rolls the update across the fleet per cfg. Vehicles are
+// processed in sorted order within deterministic waves; done receives
+// the final report (after the campaign completes or halts).
+func RunCampaign(k *sim.Kernel, fleet []string, updater VehicleUpdater,
+	cfg CampaignConfig, done func(CampaignReport)) error {
+
+	if len(fleet) == 0 {
+		return fmt.Errorf("update: empty fleet")
+	}
+	if len(cfg.WaveFractions) == 0 {
+		return fmt.Errorf("update: no waves configured")
+	}
+	total := 0.0
+	for _, f := range cfg.WaveFractions {
+		if f <= 0 {
+			return fmt.Errorf("update: non-positive wave fraction %v", f)
+		}
+		total += f
+	}
+	if total > 1+1e-9 {
+		return fmt.Errorf("update: wave fractions sum to %v > 1", total)
+	}
+	vehicles := append([]string(nil), fleet...)
+	sort.Strings(vehicles)
+
+	// Pre-compute wave boundaries.
+	var waves [][]string
+	start := 0
+	for i, f := range cfg.WaveFractions {
+		n := int(f * float64(len(vehicles)))
+		if n < 1 {
+			n = 1
+		}
+		if i == len(cfg.WaveFractions)-1 {
+			n = len(vehicles) - start // remainder
+		}
+		if start+n > len(vehicles) {
+			n = len(vehicles) - start
+		}
+		if n <= 0 {
+			break
+		}
+		waves = append(waves, vehicles[start:start+n])
+		start += n
+	}
+
+	rep := CampaignReport{}
+	var runWave func(i int)
+	runWave = func(i int) {
+		if i >= len(waves) {
+			done(rep)
+			return
+		}
+		wave := waves[i]
+		wr := WaveReport{Wave: i, Vehicles: len(wave)}
+		remaining := len(wave)
+		for _, v := range wave {
+			updater(v, func(ok bool) {
+				if ok {
+					rep.Updated++
+				} else {
+					wr.Failed++
+					rep.Failed++
+				}
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				rep.Waves = append(rep.Waves, wr)
+				if wr.FailureRate() > cfg.MaxFailureRate {
+					rep.Halted = true
+					done(rep)
+					return
+				}
+				k.After(cfg.WaveGap, func() { runWave(i + 1) })
+			})
+		}
+	}
+	runWave(0)
+	return nil
+}

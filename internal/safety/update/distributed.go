@@ -1,0 +1,133 @@
+package update
+
+import (
+	"fmt"
+	"sort"
+
+	"dynaplat/internal/sim"
+)
+
+// This file models Section 3.2's distributed-update comparison: updating
+// a set of inter-dependent applications step-by-step along a defined
+// update path — verifying the safety of every intermediate configuration —
+// versus a centrally synchronized switch from old to new, which needs
+// high-accuracy clock synchronization and creates a single point of
+// failure.
+
+// Dependency is one directed edge: Consumer depends on an interface
+// provided by Producer, and the two must agree on the contract version.
+type Dependency struct {
+	Producer string
+	Consumer string
+}
+
+// PathStep is one step of an orchestrated update path.
+type PathStep struct {
+	// App to update in this step.
+	App string
+	// Verify is called (in virtual time) after the step; a non-nil error
+	// aborts the remaining path, leaving earlier steps in place.
+	Verify func() error
+}
+
+// OrchestratedReport summarizes a step-by-step distributed update.
+type OrchestratedReport struct {
+	StepsDone int
+	Aborted   bool
+	AbortErr  error
+	// IncompatibleTime is the total virtual time any dependency edge
+	// spent with mismatched versions. Staged steps keep both versions
+	// alive through redirect, so this is zero by construction.
+	IncompatibleTime sim.Duration
+	Elapsed          sim.Duration
+}
+
+// Orchestrated walks the update path sequentially: each step is a staged
+// update (both versions briefly coexist, so no dependency edge ever
+// observes a version mismatch), followed by its verification. stepFn
+// performs the staged update of one app and calls done when complete —
+// typically a closure over Manager.Staged.
+func Orchestrated(k *sim.Kernel, steps []PathStep,
+	stepFn func(app string, done func(error)), done func(OrchestratedReport)) {
+
+	start := k.Now()
+	rep := OrchestratedReport{}
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(steps) {
+			rep.Elapsed = k.Now().Sub(start)
+			done(rep)
+			return
+		}
+		step := steps[i]
+		stepFn(step.App, func(err error) {
+			if err == nil && step.Verify != nil {
+				err = step.Verify()
+			}
+			if err != nil {
+				rep.Aborted = true
+				rep.AbortErr = fmt.Errorf("update: step %d (%s): %w", i, step.App, err)
+				rep.Elapsed = k.Now().Sub(start)
+				done(rep)
+				return
+			}
+			rep.StepsDone++
+			next(i + 1)
+		})
+	}
+	next(0)
+}
+
+// CentralSwitchReport quantifies the synchronized-switch alternative.
+type CentralSwitchReport struct {
+	// SwitchTimes maps app → the virtual time it actually switched
+	// (nominal instant plus its ECU's clock error).
+	SwitchTimes map[string]sim.Time
+	// EdgeWindows lists, per dependency, the window during which exactly
+	// one endpoint had switched: the span of version incompatibility.
+	EdgeWindows []EdgeWindow
+	// MaxIncompatible and TotalIncompatible aggregate the windows.
+	MaxIncompatible   sim.Duration
+	TotalIncompatible sim.Duration
+}
+
+// EdgeWindow is one dependency's incompatibility window.
+type EdgeWindow struct {
+	Dep    Dependency
+	Window sim.Duration
+}
+
+// CentralSwitch evaluates a synchronized old→new switch at the nominal
+// instant `at`, where each app's host clock deviates by skew[app]. Every
+// dependency whose endpoints switch at different instants passes through
+// a mixed-version window — the robustness problem the paper notes, on
+// top of the coordinator being a single point of failure.
+func CentralSwitch(at sim.Time, skew map[string]sim.Duration, deps []Dependency) CentralSwitchReport {
+	rep := CentralSwitchReport{SwitchTimes: map[string]sim.Time{}}
+	apps := map[string]bool{}
+	for _, d := range deps {
+		apps[d.Producer] = true
+		apps[d.Consumer] = true
+	}
+	names := make([]string, 0, len(apps))
+	for a := range apps {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		rep.SwitchTimes[a] = at.Add(skew[a])
+	}
+	for _, d := range deps {
+		tp, tc := rep.SwitchTimes[d.Producer], rep.SwitchTimes[d.Consumer]
+		w := tp.Sub(tc)
+		if w < 0 {
+			w = -w
+		}
+		rep.EdgeWindows = append(rep.EdgeWindows, EdgeWindow{Dep: d, Window: w})
+		rep.TotalIncompatible += w
+		if w > rep.MaxIncompatible {
+			rep.MaxIncompatible = w
+		}
+	}
+	return rep
+}

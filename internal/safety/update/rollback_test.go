@@ -1,0 +1,183 @@
+package update
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dynaplat/internal/platform"
+	"dynaplat/internal/sim"
+	"dynaplat/internal/soa"
+)
+
+func TestStagedVerifiedSuccess(t *testing.T) {
+	r := newRig(t)
+	r.installV1(t)
+	var rep Report
+	err := r.mgr.StagedVerified("brake", brakeSpec(2), platform.Behavior{},
+		[]Offers{{Iface: "BrakeStatus", Opts: offerBB()}},
+		100*sim.Millisecond, func() error { return nil },
+		func(rp Report) { rep = rp })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunUntil(sim.Time(ms(2000)))
+	if rep.RolledBack {
+		t.Fatal("successful update rolled back")
+	}
+	if len(rep.Stamps) != 4 {
+		t.Fatalf("stamps = %v", rep.Stamps)
+	}
+	if inst, _ := r.p.FindApp("brake@2"); inst == nil || inst.State != platform.StateRunning {
+		t.Error("new version not running")
+	}
+	if inst, _ := r.p.FindApp("brake"); inst != nil {
+		t.Error("old version still present")
+	}
+	if r.mgr.InstanceName("brake") != "brake@2" {
+		t.Error("active name not switched")
+	}
+}
+
+func TestStagedVerifiedRollback(t *testing.T) {
+	r := newRig(t)
+	old := r.installV1(t)
+	bad := errors.New("new version misbehaves in soak")
+	var rep Report
+	err := r.mgr.StagedVerified("brake", brakeSpec(2), platform.Behavior{},
+		[]Offers{{Iface: "BrakeStatus", Opts: offerBB()}},
+		100*sim.Millisecond, func() error { return bad },
+		func(rp Report) { rep = rp })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunUntil(sim.Time(ms(2000)))
+	if !rep.RolledBack {
+		t.Fatal("failed verification did not roll back")
+	}
+	// Old version still serving, new version gone.
+	if old.State != platform.StateRunning {
+		t.Error("old version not running after rollback")
+	}
+	if inst, _ := r.p.FindApp("brake@2"); inst != nil {
+		t.Error("new version still installed after rollback")
+	}
+	if r.mgr.InstanceName("brake") != "brake" {
+		t.Errorf("active name = %q", r.mgr.InstanceName("brake"))
+	}
+	// Service points back at the old version.
+	prov, _, err := r.mw.Find("BrakeStatus")
+	if err != nil || prov != "brake" {
+		t.Errorf("provider after rollback = %q (%v)", prov, err)
+	}
+	// The abort is on the diagnosis record.
+	if r.node.Diag().CountKind(platform.FaultUpdateAborted) == 0 {
+		t.Error("rollback not recorded in diagnosis")
+	}
+	// Old version must have served continuously (no missed periods).
+	if old.Misses != 0 {
+		t.Errorf("old version missed %d deadlines through the rollback", old.Misses)
+	}
+}
+
+func offerBB() soa.OfferOpts { return soa.OfferOpts{Network: "bb"} }
+
+func TestCampaignFullRollout(t *testing.T) {
+	k := sim.NewKernel(1)
+	fleet := make([]string, 100)
+	for i := range fleet {
+		fleet[i] = fmt.Sprintf("vin%03d", i)
+	}
+	var rep CampaignReport
+	err := RunCampaign(k, fleet, func(v string, done func(bool)) {
+		k.After(10*sim.Millisecond, func() { done(true) })
+	}, DefaultCampaignConfig(), func(r CampaignReport) { rep = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if rep.Halted || rep.Updated != 100 || rep.Failed != 0 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if len(rep.Waves) != 3 {
+		t.Fatalf("waves = %+v", rep.Waves)
+	}
+	// Canary wave is 1 vehicle (1% of 100).
+	if rep.Waves[0].Vehicles != 1 {
+		t.Errorf("canary size = %d", rep.Waves[0].Vehicles)
+	}
+	if rep.Waves[0].Vehicles+rep.Waves[1].Vehicles+rep.Waves[2].Vehicles != 100 {
+		t.Errorf("wave sizes = %+v", rep.Waves)
+	}
+}
+
+func TestCampaignHaltsOnCanaryFailure(t *testing.T) {
+	k := sim.NewKernel(1)
+	fleet := make([]string, 100)
+	for i := range fleet {
+		fleet[i] = fmt.Sprintf("vin%03d", i)
+	}
+	attempted := 0
+	var rep CampaignReport
+	err := RunCampaign(k, fleet, func(v string, done func(bool)) {
+		attempted++
+		k.After(10*sim.Millisecond, func() { done(false) }) // every update fails
+	}, DefaultCampaignConfig(), func(r CampaignReport) { rep = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !rep.Halted {
+		t.Fatal("campaign did not halt")
+	}
+	// Only the canary wave was attempted: the fleet is protected.
+	if attempted != 1 {
+		t.Errorf("attempted = %d, want 1 (canary only)", attempted)
+	}
+	if rep.Failed != 1 || rep.Updated != 0 {
+		t.Errorf("rep = %+v", rep)
+	}
+}
+
+func TestCampaignToleratesBudgetedFailures(t *testing.T) {
+	k := sim.NewKernel(3)
+	fleet := make([]string, 200)
+	for i := range fleet {
+		fleet[i] = fmt.Sprintf("vin%03d", i)
+	}
+	cfg := CampaignConfig{WaveFractions: []float64{0.5, 0.5},
+		MaxFailureRate: 0.10, WaveGap: sim.Second}
+	i := 0
+	var rep CampaignReport
+	RunCampaign(k, fleet, func(v string, done func(bool)) {
+		i++
+		fail := i%20 == 0 // 5% failure rate, under the 10% budget
+		k.After(sim.Millisecond, func() { done(!fail) })
+	}, cfg, func(r CampaignReport) { rep = r })
+	k.Run()
+	if rep.Halted {
+		t.Fatalf("halted despite under-budget failures: %+v", rep)
+	}
+	if rep.Updated+rep.Failed != 200 {
+		t.Errorf("coverage = %d", rep.Updated+rep.Failed)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	noop := func(string, func(bool)) {}
+	if err := RunCampaign(k, nil, noop, DefaultCampaignConfig(), nil); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if err := RunCampaign(k, []string{"v"}, noop, CampaignConfig{}, nil); err == nil {
+		t.Error("no waves accepted")
+	}
+	bad := CampaignConfig{WaveFractions: []float64{0.9, 0.9}}
+	if err := RunCampaign(k, []string{"v"}, noop, bad, nil); err == nil {
+		t.Error("fractions > 1 accepted")
+	}
+	neg := CampaignConfig{WaveFractions: []float64{-0.1}}
+	if err := RunCampaign(k, []string{"v"}, noop, neg, nil); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package sched
+
+// Ablation A1 (DESIGN.md §4): time-triggered slot granularity. Finer
+// quanta cost more synthesis work; the "ops" metric makes the trade-off
+// visible alongside wall time.
+
+import (
+	"fmt"
+	"testing"
+
+	"dynaplat/internal/sim"
+)
+
+func ablationTaskSet() []Task {
+	rng := sim.NewRNG(99)
+	periods := []sim.Duration{5 * sim.Millisecond, 10 * sim.Millisecond, 20 * sim.Millisecond}
+	var tasks []Task
+	for i := 0; i < 15; i++ {
+		p := periods[rng.Intn(len(periods))]
+		tasks = append(tasks, Task{
+			Name:   fmt.Sprintf("t%02d", i),
+			Period: p,
+			WCET:   sim.Duration(int64(p) / 25),
+		})
+	}
+	return tasks
+}
+
+func BenchmarkA1Granularity(b *testing.B) {
+	for _, g := range []sim.Duration{
+		62500 * sim.Nanosecond, 250 * sim.Microsecond, sim.Millisecond,
+	} {
+		g := g
+		b.Run(g.String(), func(b *testing.B) {
+			tasks := ablationTaskSet()
+			var ops int64
+			for i := 0; i < b.N; i++ {
+				tbl, err := Synthesize(tasks, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops = tbl.SynthesisOps
+			}
+			b.ReportMetric(float64(ops), "ops")
+		})
+	}
+}
+
+// A2: incremental admission vs full resynthesis of the same final set.
+func BenchmarkA2IncrementalVsFull(b *testing.B) {
+	tasks := ablationTaskSet()
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := NewManager(250 * sim.Microsecond)
+			for _, task := range tasks {
+				if _, err := m.Admit(task); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Synthesize(tasks, 250*sim.Microsecond); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

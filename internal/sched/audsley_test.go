@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynaplat/internal/sim"
+)
+
+func TestAudsleySimpleSet(t *testing.T) {
+	ordered, ok, err := AudsleyAssign(simpleSet())
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if len(ordered) != 3 {
+		t.Fatalf("len = %d", len(ordered))
+	}
+	if err := VerifyAssignment(ordered); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAudsleyRejectsOverload(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", Period: ms(10), WCET: ms(6)},
+		{Name: "b", Period: ms(10), WCET: ms(6)},
+	}
+	_, ok, err := AudsleyAssign(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("overload assigned")
+	}
+}
+
+func TestAudsleyValidation(t *testing.T) {
+	if _, _, err := AudsleyAssign([]Task{{Name: "", Period: ms(1), WCET: ms(1)}}); err == nil {
+		t.Error("invalid set accepted")
+	}
+}
+
+// The classic OPA win: with release jitter, deadline-monotonic ordering
+// fails on sets where a feasible assignment exists.
+func TestAudsleyBeatsDMUnderJitter(t *testing.T) {
+	// DM ranks A (D=6) above B (D=7). Then B sees R = 3+3 = 6 and with
+	// its 4ms jitter misses: 4+6 = 10 > 7. The only feasible order is B
+	// on top: B alone responds in 3 (4+3 = 7 ≤ 7), and A at the bottom
+	// responds in 6 (one jittered interference hit) = its deadline.
+	tasks := []Task{
+		{Name: "A", Period: ms(10), WCET: ms(3), Deadline: ms(6)},
+		{Name: "B", Period: ms(10), WCET: ms(3), Deadline: ms(7), Jitter: ms(4)},
+	}
+	dmOK, err := DMSchedulable(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dmOK {
+		t.Fatal("DM unexpectedly passes; counterexample broken")
+	}
+	ordered, opaOK, err := AudsleyAssign(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opaOK {
+		t.Fatal("OPA failed on feasible set")
+	}
+	if err := VerifyAssignment(ordered); err != nil {
+		t.Fatal(err)
+	}
+	if ordered[0].Name != "B" {
+		t.Errorf("order = %v,%v; want B on top", ordered[0].Name, ordered[1].Name)
+	}
+}
+
+// Property: whenever DM passes, OPA must too (OPA optimality).
+func TestAudsleyDominatesDMProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		periods := []sim.Duration{ms(5), ms(10), ms(20), ms(50)}
+		n := rng.Range(2, 5)
+		var tasks []Task
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			wcet := sim.Duration(rng.Range(1, int(p)/(2*n)))
+			d := p - sim.Duration(rng.Intn(int(p)/4))
+			if wcet > d {
+				wcet = d
+			}
+			tasks = append(tasks, Task{
+				Name: string(rune('a' + i)), Period: p, WCET: wcet,
+				Deadline: d, Jitter: sim.Duration(rng.Intn(int(p) / 8)),
+			})
+		}
+		dmOK, err := DMSchedulable(tasks)
+		if err != nil {
+			return true // vacuous on degenerate sets
+		}
+		if !dmOK {
+			return true
+		}
+		_, opaOK, err := AudsleyAssign(tasks)
+		return err == nil && opaOK
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyAssignmentCatchesBadOrder(t *testing.T) {
+	// Put the tight-deadline task last: it must fail verification.
+	tasks := []Task{
+		{Name: "loose", Period: ms(100), WCET: ms(40), Deadline: ms(100)},
+		{Name: "tight", Period: ms(50), WCET: ms(5), Deadline: ms(6)},
+	}
+	bad := []Task{tasks[0], tasks[1]} // loose first = highest
+	if err := VerifyAssignment(bad); err == nil {
+		t.Error("bad order verified")
+	}
+	good := []Task{tasks[1], tasks[0]}
+	if err := VerifyAssignment(good); err != nil {
+		t.Errorf("good order rejected: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"dynaplat/internal/sim"
+)
+
+// RTAResult holds the response-time analysis outcome for one task.
+type RTAResult struct {
+	Task     string
+	Response sim.Duration
+	Deadline sim.Duration
+	OK       bool
+}
+
+// ResponseTimeAnalysis performs exact response-time analysis for
+// preemptive fixed-priority scheduling with deadline-monotonic priority
+// assignment. It returns per-task worst-case response times and whether
+// every task meets its deadline. This is the priority-based half of the
+// RTOS scheduling schemes the paper names in Section 3.1.
+func ResponseTimeAnalysis(tasks []Task) ([]RTAResult, bool, error) {
+	if err := ValidateSet(tasks); err != nil {
+		return nil, false, err
+	}
+	ordered := append([]Task(nil), tasks...)
+	SortByDeadline(ordered)
+	results := make([]RTAResult, len(ordered))
+	allOK := true
+	for i := range ordered {
+		ti := &ordered[i]
+		d := ti.EffectiveDeadline()
+		r := ti.WCET
+		for iter := 0; ; iter++ {
+			if iter > 10000 || r > 1000*d {
+				// Utilization ≥ 1 w.r.t. higher-priority tasks: diverges.
+				results[i] = RTAResult{Task: ti.Name, Response: r, Deadline: d, OK: false}
+				allOK = false
+				break
+			}
+			next := ti.WCET
+			for j := 0; j < i; j++ {
+				tj := &ordered[j]
+				next += sim.Duration(ceilDiv(int64(r), int64(tj.Period))) * tj.WCET
+			}
+			if next == r {
+				ok := r <= d
+				results[i] = RTAResult{Task: ti.Name, Response: r, Deadline: d, OK: ok}
+				if !ok {
+					allOK = false
+				}
+				break
+			}
+			r = next
+		}
+	}
+	return results, allOK, nil
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// LiuLaylandBound returns the classic rate-monotonic utilization bound
+// n(2^(1/n)-1) for n tasks: a fast sufficient schedulability test used for
+// quick admission pre-checks.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// QuickSchedulable is a cheap sufficient test: utilization below the
+// Liu-Layland bound with implicit deadlines. It never returns a false
+// positive but may return false for schedulable sets (use RTA then).
+func QuickSchedulable(tasks []Task) bool {
+	for i := range tasks {
+		if tasks[i].EffectiveDeadline() < tasks[i].Period {
+			return false // bound only valid for implicit deadlines
+		}
+	}
+	return TotalUtilization(tasks) <= LiuLaylandBound(len(tasks))
+}
+
+// EDFSchedulable is the exact test for preemptive EDF with implicit
+// deadlines (U ≤ 1); with constrained deadlines it falls back to a
+// density-based sufficient test.
+func EDFSchedulable(tasks []Task) bool {
+	density := 0.0
+	for i := range tasks {
+		t := &tasks[i]
+		d := t.EffectiveDeadline()
+		if d <= 0 {
+			return false
+		}
+		if d < t.Period {
+			density += float64(t.WCET) / float64(d)
+		} else {
+			density += t.Utilization()
+		}
+	}
+	return density <= 1.0
+}
+
+// String renders an RTA result row.
+func (r RTAResult) String() string {
+	status := "OK"
+	if !r.OK {
+		status = "MISS"
+	}
+	return fmt.Sprintf("%-16s R=%-10v D=%-10v %s", r.Task, r.Response, r.Deadline, status)
+}

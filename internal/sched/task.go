@@ -1,0 +1,129 @@
+// Package sched provides scheduling analysis and synthesis for the dynamic
+// platform: time-triggered schedule tables for deterministic applications,
+// response-time analysis for priority-based scheduling, admission control,
+// and the incremental schedule-management framework of Zhang et al.
+// (RTCSA'16, the paper's reference [21]).
+//
+// All durations are in virtual time and already scaled to the target ECU's
+// clock (see model.ECU.ScaledWCET).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"dynaplat/internal/sim"
+)
+
+// Task is one deterministic, periodically released unit of execution.
+type Task struct {
+	Name string
+	// Period between releases; must be positive.
+	Period sim.Duration
+	// WCET is the worst-case execution time on the target ECU.
+	WCET sim.Duration
+	// Deadline is relative to release; 0 means implicit (== Period).
+	Deadline sim.Duration
+	// Jitter is the permitted variation of start times relative to
+	// release across jobs; 0 means unconstrained.
+	Jitter sim.Duration
+	// Offset delays the first release.
+	Offset sim.Duration
+}
+
+// EffectiveDeadline returns Deadline, or Period when implicit.
+func (t *Task) EffectiveDeadline() sim.Duration {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return t.Period
+}
+
+// Utilization returns WCET/Period.
+func (t *Task) Utilization() float64 {
+	if t.Period <= 0 {
+		return 0
+	}
+	return float64(t.WCET) / float64(t.Period)
+}
+
+// Validate checks the task's parameters for internal consistency.
+func (t *Task) Validate() error {
+	switch {
+	case t.Name == "":
+		return fmt.Errorf("sched: task with empty name")
+	case t.Period <= 0:
+		return fmt.Errorf("sched: task %s: non-positive period %v", t.Name, t.Period)
+	case t.WCET <= 0:
+		return fmt.Errorf("sched: task %s: non-positive WCET %v", t.Name, t.WCET)
+	case t.WCET > t.EffectiveDeadline():
+		return fmt.Errorf("sched: task %s: WCET %v exceeds deadline %v",
+			t.Name, t.WCET, t.EffectiveDeadline())
+	case t.Offset < 0:
+		return fmt.Errorf("sched: task %s: negative offset", t.Name)
+	}
+	return nil
+}
+
+// TotalUtilization sums the utilization of a task set.
+func TotalUtilization(tasks []Task) float64 {
+	u := 0.0
+	for i := range tasks {
+		u += tasks[i].Utilization()
+	}
+	return u
+}
+
+// ValidateSet validates every task and checks for duplicate names.
+func ValidateSet(tasks []Task) error {
+	seen := map[string]bool{}
+	for i := range tasks {
+		if err := tasks[i].Validate(); err != nil {
+			return err
+		}
+		if seen[tasks[i].Name] {
+			return fmt.Errorf("sched: duplicate task %s", tasks[i].Name)
+		}
+		seen[tasks[i].Name] = true
+	}
+	return nil
+}
+
+// Hyperperiod returns the least common multiple of the task periods.
+// It returns an error if the hyperperiod would exceed maxHyper (guarding
+// against pathological period combinations blowing up table size).
+func Hyperperiod(tasks []Task, maxHyper sim.Duration) (sim.Duration, error) {
+	if len(tasks) == 0 {
+		return 0, fmt.Errorf("sched: empty task set")
+	}
+	h := int64(tasks[0].Period)
+	for _, t := range tasks[1:] {
+		h = lcm(h, int64(t.Period))
+		if h <= 0 || (maxHyper > 0 && h > int64(maxHyper)) {
+			return 0, fmt.Errorf("sched: hyperperiod exceeds limit %v", maxHyper)
+		}
+	}
+	return sim.Duration(h), nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 { return a / gcd(a, b) * b }
+
+// SortByDeadline orders tasks deadline-monotonically (shortest effective
+// deadline first), the optimal fixed-priority assignment for constrained
+// deadlines. Ties break by name for determinism.
+func SortByDeadline(tasks []Task) {
+	sort.SliceStable(tasks, func(i, j int) bool {
+		di, dj := tasks[i].EffectiveDeadline(), tasks[j].EffectiveDeadline()
+		if di != dj {
+			return di < dj
+		}
+		return tasks[i].Name < tasks[j].Name
+	})
+}

@@ -1,0 +1,166 @@
+// Package analysis evaluates architectures for security using
+// probabilistic reachability over an exploit graph, following the
+// probabilistic-model-checking approach of Mundhenk et al. (DAC'15, the
+// paper's reference [11]): components carry per-step exploit
+// probabilities, attacks start at exposed entry points, and the analysis
+// computes the probability that each asset is eventually compromised.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an exploit graph: nodes are architecture elements (ECUs,
+// networks, applications), edges are potential attack steps.
+type Graph struct {
+	nodes map[string]*Node
+	edges map[string][]Edge // by source
+}
+
+// Node is one architecture element.
+type Node struct {
+	Name string
+	// Entry marks externally reachable attack surfaces (telematics, OBD).
+	Entry bool
+}
+
+// Edge is an attack step: compromising From enables an attempt on To,
+// succeeding with probability P.
+type Edge struct {
+	From, To string
+	// P is the per-attempt exploit success probability, from the
+	// component's security evaluation.
+	P float64
+}
+
+// NewGraph returns an empty exploit graph.
+func NewGraph() *Graph {
+	return &Graph{nodes: map[string]*Node{}, edges: map[string][]Edge{}}
+}
+
+// AddNode declares an element; entry marks it as attacker-reachable.
+func (g *Graph) AddNode(name string, entry bool) {
+	g.nodes[name] = &Node{Name: name, Entry: entry}
+}
+
+// AddEdge declares an attack step with success probability p ∈ [0, 1].
+func (g *Graph) AddEdge(from, to string, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("analysis: probability %v out of [0,1]", p)
+	}
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("analysis: unknown node %q", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("analysis: unknown node %q", to)
+	}
+	g.edges[from] = append(g.edges[from], Edge{From: from, To: to, P: p})
+	return nil
+}
+
+// Result maps each element to its eventual compromise probability.
+type Result map[string]float64
+
+// Exploitability computes, by monotone fixpoint iteration, the
+// probability that each node is eventually compromised by an attacker who
+// keeps trying every enabled step (the standard "until" reachability of
+// probabilistic model checking, upper-bound semantics):
+//
+//	p(v) = 1 − ∏ over edges (u→v) of (1 − p(u)·P(u→v))
+//
+// Entry nodes start at probability 1. Iteration converges because p is
+// monotone and bounded.
+func (g *Graph) Exploitability() Result {
+	p := Result{}
+	for name, n := range g.nodes {
+		if n.Entry {
+			p[name] = 1
+		} else {
+			p[name] = 0
+		}
+	}
+	// Build reverse adjacency.
+	incoming := map[string][]Edge{}
+	for _, es := range g.edges {
+		for _, e := range es {
+			incoming[e.To] = append(incoming[e.To], e)
+		}
+	}
+	for iter := 0; iter < 10_000; iter++ {
+		delta := 0.0
+		for name, n := range g.nodes {
+			if n.Entry {
+				continue
+			}
+			prodSafe := 1.0
+			for _, e := range incoming[name] {
+				prodSafe *= 1 - p[e.From]*e.P
+			}
+			next := 1 - prodSafe
+			if d := math.Abs(next - p[name]); d > delta {
+				delta = d
+			}
+			p[name] = next
+		}
+		if delta < 1e-12 {
+			break
+		}
+	}
+	return p
+}
+
+// Of returns an asset's compromise probability from a result.
+func (r Result) Of(asset string) float64 { return r[asset] }
+
+// Ranking is one row of a sorted exploitability report.
+type Ranking struct {
+	Asset string
+	P     float64
+}
+
+// Rank returns assets sorted most-exploitable first (ties by name).
+func (r Result) Rank() []Ranking {
+	out := make([]Ranking, 0, len(r))
+	for a, p := range r {
+		out = append(out, Ranking{Asset: a, P: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return out[i].Asset < out[j].Asset
+	})
+	return out
+}
+
+// CutEffect re-evaluates the graph with one edge hardened to probability
+// newP and returns the resulting exploitability of the asset — the
+// what-if query used to compare architecture variants (E12).
+func (g *Graph) CutEffect(from, to string, newP float64, asset string) (float64, error) {
+	if newP < 0 || newP > 1 {
+		return 0, fmt.Errorf("analysis: probability %v out of [0,1]", newP)
+	}
+	h := NewGraph()
+	for name, n := range g.nodes {
+		h.AddNode(name, n.Entry)
+	}
+	found := false
+	for _, es := range g.edges {
+		for _, e := range es {
+			p := e.P
+			if e.From == from && e.To == to {
+				p = newP
+				found = true
+			}
+			if err := h.AddEdge(e.From, e.To, p); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("analysis: edge %s→%s not in graph", from, to)
+	}
+	return h.Exploitability().Of(asset), nil
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dynaplat/internal/sim"
+)
+
+// chainGraph builds entry → a → b with the given step probabilities.
+func chainGraph(p1, p2 float64) *Graph {
+	g := NewGraph()
+	g.AddNode("telematics", true)
+	g.AddNode("gateway", false)
+	g.AddNode("brake", false)
+	g.AddEdge("telematics", "gateway", p1)
+	g.AddEdge("gateway", "brake", p2)
+	return g
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestChainProbability(t *testing.T) {
+	r := chainGraph(0.5, 0.2).Exploitability()
+	if !almost(r.Of("telematics"), 1) {
+		t.Errorf("entry = %v", r.Of("telematics"))
+	}
+	if !almost(r.Of("gateway"), 0.5) {
+		t.Errorf("gateway = %v", r.Of("gateway"))
+	}
+	if !almost(r.Of("brake"), 0.1) {
+		t.Errorf("brake = %v, want 0.1", r.Of("brake"))
+	}
+}
+
+func TestParallelPathsCompound(t *testing.T) {
+	// Two independent paths: 1-(1-0.1)(1-0.2) = 0.28.
+	g := NewGraph()
+	g.AddNode("obd", true)
+	g.AddNode("cell", true)
+	g.AddNode("ecu", false)
+	g.AddEdge("obd", "ecu", 0.1)
+	g.AddEdge("cell", "ecu", 0.2)
+	r := g.Exploitability()
+	if !almost(r.Of("ecu"), 0.28) {
+		t.Errorf("ecu = %v, want 0.28", r.Of("ecu"))
+	}
+}
+
+func TestUnreachableIsZero(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("entry", true)
+	g.AddNode("island", false)
+	r := g.Exploitability()
+	if r.Of("island") != 0 {
+		t.Errorf("island = %v", r.Of("island"))
+	}
+}
+
+func TestCycleConverges(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("e", true)
+	g.AddNode("a", false)
+	g.AddNode("b", false)
+	g.AddEdge("e", "a", 0.5)
+	g.AddEdge("a", "b", 0.5)
+	g.AddEdge("b", "a", 0.5) // cycle a↔b
+	r := g.Exploitability()
+	// Fixpoint: pa = 1-(1-0.5)(1-pb*0.5); pb = pa*0.5.
+	pa := r.Of("a")
+	pb := r.Of("b")
+	if math.Abs(pa-(1-(1-0.5)*(1-pb*0.5))) > 1e-9 {
+		t.Errorf("fixpoint violated: pa=%v pb=%v", pa, pb)
+	}
+	if pa < 0.5 || pa > 1 || pb < 0 || pb > 1 {
+		t.Errorf("out of range: pa=%v pb=%v", pa, pb)
+	}
+}
+
+func TestProbabilitiesInRangeProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		g := NewGraph()
+		n := rng.Range(2, 10)
+		for i := 0; i < n; i++ {
+			g.AddNode(name(i), i == 0)
+		}
+		edges := rng.Range(1, 3*n)
+		for i := 0; i < edges; i++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			if from == to {
+				continue
+			}
+			g.AddEdge(name(from), name(to), rng.Float64())
+		}
+		r := g.Exploitability()
+		for i := 0; i < n; i++ {
+			p := r.Of(name(i))
+			if p < 0 || p > 1+1e-9 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func name(i int) string { return string(rune('a' + i)) }
+
+// Hardening an edge must never increase exploitability (monotonicity).
+func TestHardeningMonotone(t *testing.T) {
+	g := chainGraph(0.5, 0.2)
+	base := g.Exploitability().Of("brake")
+	hardened, err := g.CutEffect("telematics", "gateway", 0.05, "brake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hardened >= base {
+		t.Errorf("hardening raised exploitability: %v → %v", base, hardened)
+	}
+	if !almost(hardened, 0.05*0.2) {
+		t.Errorf("hardened = %v, want 0.01", hardened)
+	}
+	if _, err := g.CutEffect("ghost", "gateway", 0.1, "brake"); err == nil {
+		t.Error("CutEffect accepted unknown edge")
+	}
+}
+
+func TestRank(t *testing.T) {
+	r := chainGraph(0.5, 0.2).Exploitability()
+	rank := r.Rank()
+	if len(rank) != 3 || rank[0].Asset != "telematics" || rank[2].Asset != "brake" {
+		t.Errorf("rank = %+v", rank)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("a", true)
+	if err := g.AddEdge("a", "ghost", 0.1); err == nil {
+		t.Error("edge to unknown node accepted")
+	}
+	if err := g.AddEdge("ghost", "a", 0.1); err == nil {
+		t.Error("edge from unknown node accepted")
+	}
+	g.AddNode("b", false)
+	if err := g.AddEdge("a", "b", 1.5); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if err := g.AddEdge("a", "b", -0.1); err == nil {
+		t.Error("negative probability accepted")
+	}
+}

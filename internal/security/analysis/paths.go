@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Attack-path extraction: beyond the aggregate compromise probability,
+// the security architect needs to know *which* chain of exploits is most
+// likely, because that is the edge to harden first (the what-if query
+// CutEffect answers). The most probable path maximizes the product of
+// step probabilities, i.e. minimizes Σ −log p — a shortest-path problem.
+
+// Path is one attack chain from an entry to the asset.
+type Path struct {
+	Nodes []string
+	// P is the product of the steps' probabilities.
+	P float64
+}
+
+func (p Path) String() string {
+	s := ""
+	for i, n := range p.Nodes {
+		if i > 0 {
+			s += " → "
+		}
+		s += n
+	}
+	return fmt.Sprintf("%s (p=%.4g)", s, p.P)
+}
+
+type pqItem struct {
+	node  string
+	dist  float64
+	index int
+}
+
+type pathPQ []*pqItem
+
+func (q pathPQ) Len() int           { return len(q) }
+func (q pathPQ) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pathPQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *pathPQ) Push(x any)        { it := x.(*pqItem); it.index = len(*q); *q = append(*q, it) }
+func (q *pathPQ) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// MostProbablePath returns the single most likely attack chain reaching
+// the asset from any entry node, or ok=false when unreachable.
+func (g *Graph) MostProbablePath(asset string) (Path, bool) {
+	if _, exists := g.nodes[asset]; !exists {
+		return Path{}, false
+	}
+	dist := map[string]float64{}
+	prev := map[string]string{}
+	pq := &pathPQ{}
+	items := map[string]*pqItem{}
+
+	names := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic tie-breaking
+	for _, n := range names {
+		d := math.Inf(1)
+		if g.nodes[n].Entry {
+			d = 0
+		}
+		dist[n] = d
+		it := &pqItem{node: n, dist: d}
+		items[n] = it
+		heap.Push(pq, it)
+	}
+	for pq.Len() > 0 {
+		u := heap.Pop(pq).(*pqItem)
+		if math.IsInf(u.dist, 1) {
+			break
+		}
+		if u.node == asset {
+			break
+		}
+		for _, e := range g.edges[u.node] {
+			if e.P <= 0 {
+				continue
+			}
+			nd := u.dist - math.Log(e.P)
+			if nd < dist[e.To]-1e-15 {
+				dist[e.To] = nd
+				prev[e.To] = u.node
+				it := items[e.To]
+				it.dist = nd
+				heap.Fix(pq, it.index)
+			}
+		}
+	}
+	if math.IsInf(dist[asset], 1) {
+		return Path{}, false
+	}
+	var nodes []string
+	for at := asset; ; {
+		nodes = append([]string{at}, nodes...)
+		p, ok := prev[at]
+		if !ok {
+			break
+		}
+		at = p
+	}
+	return Path{Nodes: nodes, P: math.Exp(-dist[asset])}, true
+}
+
+// CriticalEdge returns the attack step on the most probable path whose
+// hardening (to newP) lowers the asset's overall exploitability the most.
+func (g *Graph) CriticalEdge(asset string, newP float64) (from, to string, reduction float64, err error) {
+	path, ok := g.MostProbablePath(asset)
+	if !ok {
+		return "", "", 0, fmt.Errorf("analysis: %s unreachable", asset)
+	}
+	base := g.Exploitability().Of(asset)
+	best := -1.0
+	for i := 0; i+1 < len(path.Nodes); i++ {
+		after, e := g.CutEffect(path.Nodes[i], path.Nodes[i+1], newP, asset)
+		if e != nil {
+			return "", "", 0, e
+		}
+		if d := base - after; d > best {
+			best = d
+			from, to = path.Nodes[i], path.Nodes[i+1]
+		}
+	}
+	return from, to, best, nil
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMostProbablePathChain(t *testing.T) {
+	g := chainGraph(0.5, 0.2)
+	p, ok := g.MostProbablePath("brake")
+	if !ok {
+		t.Fatal("unreachable")
+	}
+	want := []string{"telematics", "gateway", "brake"}
+	if len(p.Nodes) != 3 {
+		t.Fatalf("path = %v", p.Nodes)
+	}
+	for i := range want {
+		if p.Nodes[i] != want[i] {
+			t.Fatalf("path = %v", p.Nodes)
+		}
+	}
+	if !almost(p.P, 0.1) {
+		t.Errorf("P = %v, want 0.1", p.P)
+	}
+	if !strings.Contains(p.String(), "telematics → gateway → brake") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestMostProbablePathPicksBetterRoute(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("entry", true)
+	g.AddNode("weak", false)
+	g.AddNode("strong", false)
+	g.AddNode("asset", false)
+	g.AddEdge("entry", "weak", 0.9)
+	g.AddEdge("weak", "asset", 0.9) // product 0.81
+	g.AddEdge("entry", "strong", 0.99)
+	g.AddEdge("strong", "asset", 0.5) // product 0.495
+	p, ok := g.MostProbablePath("asset")
+	if !ok || p.Nodes[1] != "weak" {
+		t.Errorf("path = %+v", p)
+	}
+	if !almost(p.P, 0.81) {
+		t.Errorf("P = %v", p.P)
+	}
+}
+
+func TestMostProbablePathUnreachable(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("entry", true)
+	g.AddNode("island", false)
+	if _, ok := g.MostProbablePath("island"); ok {
+		t.Error("island reachable")
+	}
+	if _, ok := g.MostProbablePath("ghost"); ok {
+		t.Error("ghost node reachable")
+	}
+}
+
+func TestMostProbablePathEntryIsAsset(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("e", true)
+	p, ok := g.MostProbablePath("e")
+	if !ok || len(p.Nodes) != 1 || !almost(p.P, 1) {
+		t.Errorf("p = %+v ok=%v", p, ok)
+	}
+}
+
+func TestMostProbablePathZeroProbEdgeIgnored(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("e", true)
+	g.AddNode("a", false)
+	g.AddEdge("e", "a", 0)
+	if _, ok := g.MostProbablePath("a"); ok {
+		t.Error("zero-probability edge traversed")
+	}
+}
+
+func TestCriticalEdge(t *testing.T) {
+	// Chain: the weakest hardening win is on the path; hardening any of
+	// the two steps to 0.01 gives the same residual (product), so the
+	// search returns the first maximal one deterministically.
+	g := chainGraph(0.5, 0.2)
+	from, to, reduction, err := g.CriticalEdge("brake", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduction <= 0 {
+		t.Errorf("reduction = %v", reduction)
+	}
+	if from != "telematics" && from != "gateway" {
+		t.Errorf("edge = %s→%s", from, to)
+	}
+	// Unreachable asset errors.
+	g2 := NewGraph()
+	g2.AddNode("e", true)
+	g2.AddNode("x", false)
+	if _, _, _, err := g2.CriticalEdge("x", 0.01); err == nil {
+		t.Error("unreachable asset accepted")
+	}
+}
+
+func TestCriticalEdgeParallelPaths(t *testing.T) {
+	// With a dominant path and a minor one, the critical edge must sit
+	// on the dominant path.
+	g := NewGraph()
+	g.AddNode("e", true)
+	g.AddNode("big", false)
+	g.AddNode("small", false)
+	g.AddNode("asset", false)
+	g.AddEdge("e", "big", 0.8)
+	g.AddEdge("big", "asset", 0.8)
+	g.AddEdge("e", "small", 0.05)
+	g.AddEdge("small", "asset", 0.05)
+	from, to, _, err := g.CriticalEdge("asset", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from == "small" || to == "small" {
+		t.Errorf("critical edge on minor path: %s→%s", from, to)
+	}
+}

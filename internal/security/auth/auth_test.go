@@ -1,0 +1,166 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/sim"
+)
+
+func matrix() *model.AccessMatrix {
+	sys := model.MustParse(`
+system T
+ecu E cpu=100MHz mem=1MB mmu os=rtos
+app Brake kind=da asil=D period=10ms wcet=1ms mem=1KB on=E
+app Dash kind=nda mem=1KB on=E
+app Media kind=nda mem=1KB on=E
+iface BrakeStatus owner=Brake paradigm=event payload=8B period=10ms
+bind Dash -> BrakeStatus
+`)
+	return model.ExtractAccessMatrix(sys)
+}
+
+func TestBrokerIssuesPerPolicy(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewBroker(k, matrix(), []byte("vehicle-master-key"), sim.Second)
+	tk, err := b.Request("Dash", "BrakeStatus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(tk); err != nil {
+		t.Errorf("fresh ticket invalid: %v", err)
+	}
+	if _, err := b.Request("Media", "BrakeStatus"); !errors.Is(err, ErrDenied) {
+		t.Errorf("undeclared binding: %v", err)
+	}
+	if b.Issued != 1 || b.Denied != 1 {
+		t.Errorf("issued=%d denied=%d", b.Issued, b.Denied)
+	}
+}
+
+func TestTicketExpiry(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewBroker(k, matrix(), []byte("key"), 100*sim.Millisecond)
+	tk, err := b.Request("Dash", "BrakeStatus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(sim.Time(50 * sim.Millisecond))
+	if err := b.Verify(tk); err != nil {
+		t.Errorf("mid-TTL: %v", err)
+	}
+	k.RunUntil(sim.Time(150 * sim.Millisecond))
+	if err := b.Verify(tk); !errors.Is(err, ErrExpired) {
+		t.Errorf("post-TTL: %v", err)
+	}
+}
+
+func TestTicketForgery(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewBroker(k, matrix(), []byte("key"), sim.Second)
+	tk, _ := b.Request("Dash", "BrakeStatus")
+
+	forged := tk
+	forged.Client = "Media" // steal the ticket
+	if err := b.Verify(forged); !errors.Is(err, ErrForged) {
+		t.Errorf("client swap: %v", err)
+	}
+	forged2 := tk
+	forged2.Expiry = tk.Expiry.Add(sim.Duration(1) * sim.Second) // extend lifetime
+	if err := b.Verify(forged2); !errors.Is(err, ErrForged) {
+		t.Errorf("expiry extension: %v", err)
+	}
+	forged3 := tk
+	forged3.Tag = append([]byte(nil), tk.Tag...)
+	forged3.Tag[0] ^= 1
+	if err := b.Verify(forged3); !errors.Is(err, ErrForged) {
+		t.Errorf("tag flip: %v", err)
+	}
+	// Different broker key → tickets don't transfer.
+	b2 := NewBroker(k, matrix(), []byte("other-key"), sim.Second)
+	if err := b2.Verify(tk); !errors.Is(err, ErrForged) {
+		t.Errorf("cross-broker: %v", err)
+	}
+}
+
+func TestAuthorizerCaching(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewBroker(k, matrix(), []byte("key"), sim.Second)
+	a := NewAuthorizer(b)
+	if !a.Authorize("Dash", "BrakeStatus") {
+		t.Fatal("authorized binding denied")
+	}
+	for i := 0; i < 9; i++ {
+		if !a.Authorize("Dash", "BrakeStatus") {
+			t.Fatal("cached authorization denied")
+		}
+	}
+	if b.Issued != 1 {
+		t.Errorf("issued = %d, want 1 (cache)", b.Issued)
+	}
+	if a.CacheHits != 9 {
+		t.Errorf("cache hits = %d", a.CacheHits)
+	}
+	if a.Authorize("Media", "BrakeStatus") {
+		t.Error("unauthorized binding allowed")
+	}
+}
+
+func TestAuthorizerExpiryRefresh(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewBroker(k, matrix(), []byte("key"), 10*sim.Millisecond)
+	a := NewAuthorizer(b)
+	a.Authorize("Dash", "BrakeStatus")
+	k.RunUntil(sim.Time(50 * sim.Millisecond))
+	if !a.Authorize("Dash", "BrakeStatus") {
+		t.Fatal("re-authorization after expiry failed")
+	}
+	if b.Issued != 2 {
+		t.Errorf("issued = %d, want 2 (expired ticket refreshed)", b.Issued)
+	}
+}
+
+func TestRuntimeRevocation(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewBroker(k, matrix(), []byte("key"), sim.Second)
+	a := NewAuthorizer(b)
+	if !a.Authorize("Dash", "BrakeStatus") {
+		t.Fatal("initial authorization failed")
+	}
+	// Runtime policy change: revoke Dash.
+	b.Matrix().Revoke("Dash", "BrakeStatus")
+	a.Invalidate("Dash")
+	if a.Authorize("Dash", "BrakeStatus") {
+		t.Error("revoked binding still allowed")
+	}
+	// And grant Media at runtime.
+	b.Matrix().Allow("Media", "BrakeStatus")
+	if !a.Authorize("Media", "BrakeStatus") {
+		t.Error("runtime grant not honored")
+	}
+}
+
+func TestWildcardClient(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := matrix()
+	m.GrantWildcard("Logger")
+	b := NewBroker(k, m, []byte("key"), sim.Second)
+	a := NewAuthorizer(b)
+	if !a.Authorize("Logger", "BrakeStatus") {
+		t.Error("wildcard client denied")
+	}
+}
+
+func TestTicketCost(t *testing.T) {
+	weak := TicketCost(50, false)
+	strong := TicketCost(400, true)
+	if weak <= strong {
+		t.Errorf("weak %v should exceed strong %v", weak, strong)
+	}
+	// Even on the weak ECU the symmetric scheme stays under 200µs —
+	// the "lightweight" property of reference [10].
+	if weak > 200*sim.Microsecond {
+		t.Errorf("weak-ECU ticket cost %v too high for a lightweight scheme", weak)
+	}
+}

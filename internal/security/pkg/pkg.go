@@ -1,0 +1,240 @@
+// Package pkg implements the paper's Section 4.1 package security:
+// software packages are signed by authenticated authorities and verified
+// before installation. ECUs without the compute power for public-key
+// cryptography delegate verification to an *update master* they share a
+// trust relationship (symmetric key) with; masters are instantiated
+// redundantly to avoid a single point of failure.
+package pkg
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dynaplat/internal/sim"
+)
+
+// Package is one deliverable software unit.
+type Package struct {
+	App     string
+	Version int
+	Image   []byte
+}
+
+// Signed wraps a package with its authority signature.
+type Signed struct {
+	Pkg       Package
+	Authority string
+	Signature []byte
+}
+
+// digest canonicalizes the signed content.
+func digest(p Package) []byte {
+	h := sha256.New()
+	h.Write([]byte(p.App))
+	var v [8]byte
+	binary.BigEndian.PutUint64(v[:], uint64(p.Version))
+	h.Write(v[:])
+	h.Write(p.Image)
+	return h.Sum(nil)
+}
+
+// Authority signs packages (the OEM backend).
+type Authority struct {
+	Name string
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewAuthority creates a deterministic signing authority from a seed.
+func NewAuthority(name string, seed [32]byte) *Authority {
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return &Authority{Name: name, priv: priv, pub: priv.Public().(ed25519.PublicKey)}
+}
+
+// PublicKey returns the authority's verification key.
+func (a *Authority) PublicKey() ed25519.PublicKey { return a.pub }
+
+// Sign produces a signed package.
+func (a *Authority) Sign(p Package) Signed {
+	return Signed{Pkg: p, Authority: a.Name, Signature: ed25519.Sign(a.priv, digest(p))}
+}
+
+// TrustStore holds the authority keys an ECU accepts.
+type TrustStore struct {
+	keys map[string]ed25519.PublicKey
+}
+
+// NewTrustStore creates an empty store.
+func NewTrustStore() *TrustStore { return &TrustStore{keys: map[string]ed25519.PublicKey{}} }
+
+// Trust adds an authority's key.
+func (t *TrustStore) Trust(name string, key ed25519.PublicKey) { t.keys[name] = key }
+
+// Revoke removes an authority.
+func (t *TrustStore) Revoke(name string) { delete(t.keys, name) }
+
+// Errors returned by verification.
+var (
+	ErrUnknownAuthority = errors.New("pkg: unknown authority")
+	ErrBadSignature     = errors.New("pkg: signature verification failed")
+)
+
+// Verify checks a signed package against the trust store.
+func (t *TrustStore) Verify(s Signed) error {
+	key, ok := t.keys[s.Authority]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAuthority, s.Authority)
+	}
+	if !ed25519.Verify(key, digest(s.Pkg), s.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// --- Verification cost model ------------------------------------------------
+
+// Crypto cost constants, in CPU cycles. An Ed25519 verify costs roughly
+// 500k cycles on a small core; SHA-256 hashing ~15 cycles/byte. Hardware
+// crypto modules accelerate both by ~50x (Section 4.1's "not all ECUs
+// might have sufficient power").
+const (
+	verifyBaseCycles   = 500_000
+	hashCyclesPerByte  = 15
+	hwAccelFactor      = 50
+	hmacBaseCycles     = 2_000
+	hmacCyclesPerByte  = 15 // HMAC-SHA256 streams at SHA-256 speed
+	forwardSetupCycles = 10_000
+)
+
+// VerifyCost returns the virtual time a full signature verification of an
+// n-byte package takes at cpuMHz, with or without a crypto module.
+func VerifyCost(n int, cpuMHz int, cryptoHW bool) sim.Duration {
+	cycles := int64(verifyBaseCycles) + int64(n)*hashCyclesPerByte
+	if cryptoHW {
+		cycles /= hwAccelFactor
+	}
+	if cpuMHz <= 0 {
+		cpuMHz = 1
+	}
+	return sim.Duration(cycles * 1000 / int64(cpuMHz))
+}
+
+// MACCost returns the virtual time an HMAC check of an n-byte package
+// takes (the weak-ECU side of master-mediated verification).
+func MACCost(n int, cpuMHz int, cryptoHW bool) sim.Duration {
+	cycles := int64(hmacBaseCycles) + int64(n)*hmacCyclesPerByte
+	if cryptoHW {
+		cycles /= hwAccelFactor
+	}
+	if cpuMHz <= 0 {
+		cpuMHz = 1
+	}
+	return sim.Duration(cycles * 1000 / int64(cpuMHz))
+}
+
+// --- Update master -----------------------------------------------------------
+
+// MasterECU describes one update-master candidate.
+type MasterECU struct {
+	Name     string
+	CPUMHz   int
+	CryptoHW bool
+	// Alive is toggled by fault injection.
+	Alive bool
+}
+
+// MasterPool is the redundant set of update masters. Verification
+// requests go to the first live master (Section 4.1: "the update master
+// would need to be instantiated in a redundant fashion").
+type MasterPool struct {
+	k       *sim.Kernel
+	trust   *TrustStore
+	masters []*MasterECU
+	// psk maps weak-ECU name → pre-shared key (the trust relationship).
+	psk map[string][]byte
+
+	// Verified and Rejected count master-side outcomes.
+	Verified, Rejected int64
+}
+
+// NewMasterPool creates a pool over the given masters.
+func NewMasterPool(k *sim.Kernel, trust *TrustStore, masters []*MasterECU) *MasterPool {
+	return &MasterPool{k: k, trust: trust, masters: masters, psk: map[string][]byte{}}
+}
+
+// Enroll establishes the trust relationship with a weak ECU.
+func (mp *MasterPool) Enroll(weakECU string, key []byte) {
+	mp.psk[weakECU] = append([]byte(nil), key...)
+}
+
+// liveMaster returns the first live master, or nil.
+func (mp *MasterPool) liveMaster() *MasterECU {
+	for _, m := range mp.masters {
+		if m.Alive {
+			return m
+		}
+	}
+	return nil
+}
+
+// Forwarded is a master-verified package with an HMAC tag the weak ECU
+// can check cheaply.
+type Forwarded struct {
+	Signed Signed
+	Tag    []byte
+}
+
+// ErrNoMaster reports that every master is down.
+var ErrNoMaster = errors.New("pkg: no live update master")
+
+// ErrNotEnrolled reports a weak ECU without a trust relationship.
+var ErrNotEnrolled = errors.New("pkg: ECU not enrolled with update master")
+
+// VerifyFor verifies a signed package on behalf of a weak ECU and, in
+// virtual time, delivers a MAC-tagged package to done. The latency is the
+// master's verification cost; the weak ECU then checks the cheap MAC.
+func (mp *MasterPool) VerifyFor(weakECU string, s Signed, done func(Forwarded, error)) error {
+	key, ok := mp.psk[weakECU]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotEnrolled, weakECU)
+	}
+	m := mp.liveMaster()
+	if m == nil {
+		return ErrNoMaster
+	}
+	cost := VerifyCost(len(s.Pkg.Image), m.CPUMHz, m.CryptoHW) +
+		sim.Duration(forwardSetupCycles*1000/int64(max(m.CPUMHz, 1)))
+	mp.k.After(cost, func() {
+		if err := mp.trust.Verify(s); err != nil {
+			mp.Rejected++
+			done(Forwarded{}, err)
+			return
+		}
+		mp.Verified++
+		mac := hmac.New(sha256.New, key)
+		mac.Write(digest(s.Pkg))
+		done(Forwarded{Signed: s, Tag: mac.Sum(nil)}, nil)
+	})
+	return nil
+}
+
+// CheckForwarded is the weak-ECU side: an HMAC check over the digest.
+func CheckForwarded(f Forwarded, key []byte) error {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(digest(f.Signed.Pkg))
+	if !hmac.Equal(mac.Sum(nil), f.Tag) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+package pkg
+
+import (
+	"errors"
+	"testing"
+
+	"dynaplat/internal/sim"
+)
+
+func authority() *Authority {
+	var seed [32]byte
+	copy(seed[:], "dynaplat-test-authority-seed!!!!")
+	return NewAuthority("OEM", seed)
+}
+
+func samplePkg() Package {
+	return Package{App: "brake", Version: 2, Image: []byte("binary image contents")}
+}
+
+func TestSignVerify(t *testing.T) {
+	a := authority()
+	ts := NewTrustStore()
+	ts.Trust(a.Name, a.PublicKey())
+	s := a.Sign(samplePkg())
+	if err := ts.Verify(s); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamper(t *testing.T) {
+	a := authority()
+	ts := NewTrustStore()
+	ts.Trust(a.Name, a.PublicKey())
+	cases := map[string]func(*Signed){
+		"image":     func(s *Signed) { s.Pkg.Image[0] ^= 0xFF },
+		"version":   func(s *Signed) { s.Pkg.Version++ },
+		"app":       func(s *Signed) { s.Pkg.App = "steer" },
+		"signature": func(s *Signed) { s.Signature[3] ^= 0x01 },
+	}
+	for name, mutate := range cases {
+		s := a.Sign(samplePkg())
+		s.Pkg.Image = append([]byte(nil), s.Pkg.Image...)
+		s.Signature = append([]byte(nil), s.Signature...)
+		mutate(&s)
+		if err := ts.Verify(s); !errors.Is(err, ErrBadSignature) {
+			t.Errorf("%s tamper: err = %v, want ErrBadSignature", name, err)
+		}
+	}
+}
+
+func TestVerifyUnknownAuthority(t *testing.T) {
+	a := authority()
+	ts := NewTrustStore()
+	s := a.Sign(samplePkg())
+	if err := ts.Verify(s); !errors.Is(err, ErrUnknownAuthority) {
+		t.Errorf("err = %v", err)
+	}
+	ts.Trust(a.Name, a.PublicKey())
+	if err := ts.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	ts.Revoke(a.Name)
+	if err := ts.Verify(s); !errors.Is(err, ErrUnknownAuthority) {
+		t.Errorf("after revoke: %v", err)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	// Weak 50 MHz ECU without crypto HW versus a 400 MHz master with it.
+	weak := VerifyCost(100_000, 50, false)
+	master := VerifyCost(100_000, 400, true)
+	if weak <= master {
+		t.Errorf("weak %v should cost far more than master %v", weak, master)
+	}
+	if ratio := float64(weak) / float64(master); ratio < 100 {
+		t.Errorf("cost ratio = %.0f, want ≥ 100 (8x clock × 50x HW)", ratio)
+	}
+	// MAC is much cheaper than signature verification on the same ECU.
+	mac := MACCost(100_000, 50, false)
+	if mac >= weak {
+		t.Errorf("MAC %v should be cheaper than verify %v", mac, weak)
+	}
+	// Cost grows with size.
+	if VerifyCost(1<<20, 50, false) <= VerifyCost(1<<10, 50, false) {
+		t.Error("verify cost not size-dependent")
+	}
+}
+
+func TestMasterPoolVerifyFor(t *testing.T) {
+	k := sim.NewKernel(1)
+	a := authority()
+	ts := NewTrustStore()
+	ts.Trust(a.Name, a.PublicKey())
+	masters := []*MasterECU{
+		{Name: "cpm1", CPUMHz: 400, CryptoHW: true, Alive: true},
+		{Name: "cpm2", CPUMHz: 400, CryptoHW: true, Alive: true},
+	}
+	pool := NewMasterPool(k, ts, masters)
+	key := []byte("weak-ecu-psk-0123456789abcdef!!!")
+	pool.Enroll("zone1", key)
+
+	var fwd Forwarded
+	var ferr error
+	if err := pool.VerifyFor("zone1", a.Sign(samplePkg()), func(f Forwarded, err error) {
+		fwd, ferr = f, err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if pool.Verified != 1 {
+		t.Errorf("verified = %d", pool.Verified)
+	}
+	// The weak ECU's check succeeds with the right key...
+	if err := CheckForwarded(fwd, key); err != nil {
+		t.Errorf("weak-ECU check: %v", err)
+	}
+	// ...fails with a wrong key and on a tampered image.
+	if err := CheckForwarded(fwd, []byte("wrong")); err == nil {
+		t.Error("wrong PSK accepted")
+	}
+	bad := fwd
+	bad.Signed.Pkg.Image = []byte("evil")
+	if err := CheckForwarded(bad, key); err == nil {
+		t.Error("tampered forwarded package accepted")
+	}
+}
+
+func TestMasterPoolRejectsBadPackage(t *testing.T) {
+	k := sim.NewKernel(1)
+	a := authority()
+	ts := NewTrustStore() // authority NOT trusted
+	pool := NewMasterPool(k, ts, []*MasterECU{{Name: "m", CPUMHz: 400, CryptoHW: true, Alive: true}})
+	pool.Enroll("zone1", []byte("k"))
+	var ferr error
+	pool.VerifyFor("zone1", a.Sign(samplePkg()), func(_ Forwarded, err error) { ferr = err })
+	k.Run()
+	if ferr == nil || pool.Rejected != 1 {
+		t.Errorf("err = %v rejected = %d", ferr, pool.Rejected)
+	}
+}
+
+func TestMasterPoolFailover(t *testing.T) {
+	k := sim.NewKernel(1)
+	a := authority()
+	ts := NewTrustStore()
+	ts.Trust(a.Name, a.PublicKey())
+	m1 := &MasterECU{Name: "m1", CPUMHz: 400, CryptoHW: true, Alive: true}
+	m2 := &MasterECU{Name: "m2", CPUMHz: 100, CryptoHW: false, Alive: true}
+	pool := NewMasterPool(k, ts, []*MasterECU{m1, m2})
+	pool.Enroll("z", []byte("k"))
+
+	// Primary dead: the pool must use m2 (no single point of failure).
+	m1.Alive = false
+	ok := false
+	if err := pool.VerifyFor("z", a.Sign(samplePkg()), func(_ Forwarded, err error) {
+		ok = err == nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !ok {
+		t.Error("secondary master did not serve")
+	}
+	// Both dead: synchronous error.
+	m2.Alive = false
+	if err := pool.VerifyFor("z", a.Sign(samplePkg()), nil); !errors.Is(err, ErrNoMaster) {
+		t.Errorf("err = %v, want ErrNoMaster", err)
+	}
+}
+
+func TestMasterPoolNotEnrolled(t *testing.T) {
+	k := sim.NewKernel(1)
+	pool := NewMasterPool(k, NewTrustStore(), []*MasterECU{{Name: "m", Alive: true}})
+	err := pool.VerifyFor("stranger", Signed{}, nil)
+	if !errors.Is(err, ErrNotEnrolled) {
+		t.Errorf("err = %v", err)
+	}
+}

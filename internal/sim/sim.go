@@ -1,0 +1,306 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All dynaplat subsystems execute on virtual time managed by a Kernel.
+// Virtual time is completely decoupled from the wall clock: the Go garbage
+// collector and goroutine scheduler can delay wall-clock progress but can
+// never perturb virtual-time ordering. Event ordering is a total order over
+// (time, priority, sequence), so two runs with the same seed and the same
+// event program are bit-identical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring the time package but in virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// String formats a duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d == 0:
+		return "0s"
+	case d%Second == 0:
+		return fmt.Sprintf("%ds", int64(d/Second))
+	case d%Millisecond == 0:
+		return fmt.Sprintf("%dms", int64(d/Millisecond))
+	case d%Microsecond == 0:
+		return fmt.Sprintf("%dus", int64(d/Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as a floating-point number of ms.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Priority orders events that fire at the same instant. Lower runs first.
+type Priority int
+
+// Well-known priorities. Most events use PriorityNormal; schedulers use
+// PriorityClock so that clock-driven dispatch precedes same-instant work.
+const (
+	PriorityClock  Priority = -100
+	PriorityNormal Priority = 0
+	PriorityLate   Priority = 100
+)
+
+// Handler is the callback invoked when an event fires.
+type Handler func()
+
+type event struct {
+	at       Time
+	prio     Priority
+	seq      uint64
+	fn       Handler
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// EventRef identifies a scheduled event and allows cancellation.
+type EventRef struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (r EventRef) Cancel() bool {
+	if r.ev == nil || r.ev.canceled || r.ev.index < 0 {
+		return false
+	}
+	r.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been canceled.
+func (r EventRef) Pending() bool {
+	return r.ev != nil && !r.ev.canceled && r.ev.index >= 0
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulation executive.
+// The zero value is not usable; create kernels with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	running bool
+	stopped bool
+	rng     *RNG
+	tracer  *Tracer
+
+	// EventCount is the total number of events executed so far.
+	EventCount uint64
+}
+
+// NewKernel returns a kernel at time zero with a deterministic RNG
+// initialized from seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random source.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// SetTracer installs t as the kernel's tracer; nil disables tracing.
+func (k *Kernel) SetTracer(t *Tracer) { k.tracer = t }
+
+// Tracer returns the installed tracer, or nil.
+func (k *Kernel) Tracer() *Tracer { return k.tracer }
+
+// Trace records a trace event if a tracer is installed.
+func (k *Kernel) Trace(category, format string, args ...any) {
+	if k.tracer != nil {
+		k.tracer.Record(k.now, category, format, args...)
+	}
+}
+
+// At schedules fn to run at time at with normal priority.
+// Scheduling in the past panics: it indicates a causality bug.
+func (k *Kernel) At(at Time, fn Handler) EventRef {
+	return k.AtPriority(at, PriorityNormal, fn)
+}
+
+// AtPriority schedules fn at the given time and same-instant priority.
+func (k *Kernel) AtPriority(at Time, prio Priority, fn Handler) EventRef {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event handler")
+	}
+	ev := &event{at: at, prio: prio, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return EventRef{ev}
+}
+
+// After schedules fn to run d after the current time.
+// Negative delays panic.
+func (k *Kernel) After(d Duration, fn Handler) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// AfterPriority schedules fn d after now with the given priority.
+func (k *Kernel) AfterPriority(d Duration, prio Priority, fn Handler) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.AtPriority(k.now.Add(d), prio, fn)
+}
+
+// Every schedules fn at start and then every period thereafter, until the
+// returned ticker is stopped. period must be positive.
+func (k *Kernel) Every(start Time, period Duration, fn Handler) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.ref = k.At(start, t.tick)
+	return t
+}
+
+// Ticker repeatedly fires a handler at a fixed period.
+type Ticker struct {
+	k       *Kernel
+	period  Duration
+	fn      Handler
+	ref     EventRef
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.ref = t.k.After(t.period, t.tick)
+	t.fn()
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ref.Cancel()
+}
+
+// Stop halts the run loop after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the single next event, advancing virtual time to it.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		k.now = ev.at
+		k.EventCount++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.runGuard()
+	defer func() { k.running = false }()
+	for !k.stopped && k.Step() {
+	}
+	k.stopped = false
+}
+
+// RunUntil executes events with time ≤ end, then sets the clock to end.
+// Events scheduled after end remain queued.
+func (k *Kernel) RunUntil(end Time) {
+	k.runGuard()
+	defer func() { k.running = false }()
+	for !k.stopped {
+		if len(k.queue) == 0 {
+			break
+		}
+		// Peek without popping.
+		if k.queue[0].at > end {
+			break
+		}
+		k.Step()
+	}
+	k.stopped = false
+	if k.now < end {
+		k.now = end
+	}
+}
+
+// RunFor runs for d of virtual time from the current instant.
+func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
+
+func (k *Kernel) runGuard() {
+	if k.running {
+		panic("sim: Kernel.Run called re-entrantly")
+	}
+	k.running = true
+}
+
+// QueueLen returns the number of scheduled (including canceled-but-queued)
+// events. Intended for tests and diagnostics.
+func (k *Kernel) QueueLen() int { return len(k.queue) }

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one recorded simulation occurrence.
+type TraceEvent struct {
+	At       Time
+	Category string
+	Message  string
+}
+
+// Tracer records categorized trace events, optionally streaming them to a
+// writer. It retains up to Cap events in memory (unbounded if Cap == 0).
+type Tracer struct {
+	// Cap bounds the in-memory event log; 0 means unbounded.
+	Cap int
+	// Out, when non-nil, receives each event as a formatted line.
+	Out io.Writer
+	// Filter, when non-nil, limits recording to the listed categories.
+	Filter map[string]bool
+
+	events  []TraceEvent
+	dropped int64
+}
+
+// NewTracer returns a tracer retaining at most cap events (0 = unbounded).
+func NewTracer(cap int) *Tracer { return &Tracer{Cap: cap} }
+
+// Record stores a trace event. Events in filtered-out categories are
+// silently ignored.
+func (t *Tracer) Record(at Time, category, format string, args ...any) {
+	if t.Filter != nil && !t.Filter[category] {
+		return
+	}
+	ev := TraceEvent{At: at, Category: category, Message: fmt.Sprintf(format, args...)}
+	if t.Cap > 0 && len(t.events) >= t.Cap {
+		// Drop oldest: shift is O(n) but traces are diagnostic, not hot.
+		copy(t.events, t.events[1:])
+		t.events[len(t.events)-1] = ev
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	if t.Out != nil {
+		fmt.Fprintf(t.Out, "%12v %-12s %s\n", ev.At, ev.Category, ev.Message)
+	}
+}
+
+// Events returns the retained events in order.
+func (t *Tracer) Events() []TraceEvent { return t.events }
+
+// Dropped returns how many events were evicted due to the cap.
+func (t *Tracer) Dropped() int64 { return t.dropped }
+
+// ByCategory returns the retained events in the given category.
+func (t *Tracer) ByCategory(category string) []TraceEvent {
+	var out []TraceEvent
+	for _, ev := range t.events {
+		if ev.Category == category {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Dump writes all retained events to w.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, ev := range t.events {
+		fmt.Fprintf(w, "%12v %-12s %s\n", ev.At, ev.Category, ev.Message)
+	}
+}

@@ -1,0 +1,101 @@
+package soa
+
+import (
+	"testing"
+
+	"dynaplat/internal/can"
+	"dynaplat/internal/sim"
+)
+
+func TestDiscoverRemoteProvider(t *testing.T) {
+	r := newRig(nil)
+	prov := r.mw.Endpoint("p", "ecu1")
+	prov.Offer("Climate", OfferOpts{Network: "backbone", Version: 3})
+	var res DiscoveryResult
+	r.mw.Endpoint("c", "ecu2").Discover("Climate", sim.Second, func(dr DiscoveryResult) {
+		res = dr
+	})
+	r.k.Run()
+	if !res.Found || res.Provider != "p" || res.Version != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+	// RTT must be a real wire round trip: two SD messages over TSN.
+	if res.RTT <= 10*sim.Microsecond || res.RTT >= sim.Millisecond {
+		t.Errorf("rtt = %v", res.RTT)
+	}
+}
+
+func TestDiscoverLocalProvider(t *testing.T) {
+	r := newRig(nil)
+	prov := r.mw.Endpoint("p", "ecu1")
+	prov.Offer("Climate", OfferOpts{Network: "backbone"})
+	var res DiscoveryResult
+	r.mw.Endpoint("c", "ecu1").Discover("Climate", sim.Second, func(dr DiscoveryResult) {
+		res = dr
+	})
+	r.k.Run()
+	if !res.Found || res.RTT != 0 {
+		t.Errorf("local discovery = %+v", res)
+	}
+}
+
+func TestDiscoverTimeout(t *testing.T) {
+	r := newRig(nil)
+	var res DiscoveryResult
+	fired := sim.Time(0)
+	r.mw.Endpoint("c", "ecu1").Discover("Nothing", 50*sim.Millisecond, func(dr DiscoveryResult) {
+		res = dr
+		fired = r.k.Now()
+	})
+	r.k.Run()
+	if res.Found {
+		t.Fatal("found a service nobody offers")
+	}
+	if fired != sim.Time(50*sim.Millisecond) {
+		t.Errorf("timeout fired at %v", fired)
+	}
+}
+
+func TestDiscoverOverCANIsSlower(t *testing.T) {
+	rtt := func(mkRig func() (*sim.Kernel, *Middleware)) sim.Duration {
+		k, mw := mkRig()
+		mw.Endpoint("p", "ecu1").Offer("S", OfferOpts{Network: "net"})
+		var res DiscoveryResult
+		mw.Endpoint("c", "ecu2").Discover("S", sim.Second, func(dr DiscoveryResult) { res = dr })
+		k.Run()
+		if !res.Found {
+			return 0
+		}
+		return res.RTT
+	}
+	canRTT := rtt(func() (*sim.Kernel, *Middleware) {
+		k := sim.NewKernel(1)
+		bus := can.NewFD(k, can.Config{Name: "net", BitsPerSecond: 500_000}, 2_000_000)
+		mw := New(k, nil)
+		mw.AddNetwork(bus, can.MaxPayloadFD)
+		return k, mw
+	})
+	if canRTT == 0 {
+		t.Fatal("CAN discovery failed")
+	}
+	// SD entry (60B) over CAN FD takes ≫ 100us per direction.
+	if canRTT < 200*sim.Microsecond {
+		t.Errorf("CAN rtt = %v, implausibly fast", canRTT)
+	}
+}
+
+func TestDiscoverTwoClientsIndependentTokens(t *testing.T) {
+	r := newRig(nil)
+	r.mw.Endpoint("p", "ecu1").Offer("S", OfferOpts{Network: "backbone"})
+	got := map[string]bool{}
+	r.mw.Endpoint("c1", "ecu2").Discover("S", sim.Second, func(dr DiscoveryResult) {
+		got["c1"] = dr.Found
+	})
+	r.mw.Endpoint("c2", "ecu3").Discover("S", sim.Second, func(dr DiscoveryResult) {
+		got["c2"] = dr.Found
+	})
+	r.k.Run()
+	if !got["c1"] || !got["c2"] {
+		t.Errorf("results = %v", got)
+	}
+}

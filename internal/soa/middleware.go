@@ -1,0 +1,490 @@
+package soa
+
+import (
+	"fmt"
+	"sort"
+
+	"dynaplat/internal/network"
+	"dynaplat/internal/sim"
+)
+
+// Authorizer decides whether a client application may bind an interface.
+// The security/auth package provides the model-derived implementation
+// (Section 4.2); AllowAll is the permissive default.
+type Authorizer interface {
+	Authorize(client, iface string) bool
+}
+
+// AllowAll authorizes every binding.
+type AllowAll struct{}
+
+// Authorize implements Authorizer.
+func (AllowAll) Authorize(string, string) bool { return true }
+
+// ErrUnauthorized reports a binding rejected by the Authorizer.
+type ErrUnauthorized struct{ Client, Iface string }
+
+func (e *ErrUnauthorized) Error() string {
+	return fmt.Sprintf("soa: %s is not authorized for %s", e.Client, e.Iface)
+}
+
+// ErrNoService reports a find/bind against an interface nobody offers.
+type ErrNoService struct{ Iface string }
+
+func (e *ErrNoService) Error() string { return fmt.Sprintf("soa: no provider offers %s", e.Iface) }
+
+// LocalDelay is the IPC cost of same-ECU delivery.
+const LocalDelay = 5 * sim.Microsecond
+
+// Middleware is the communication core of the dynamic platform. One
+// instance spans the whole vehicle (it is "logically located across
+// multiple hardware elements", Section 1.1).
+type Middleware struct {
+	k    *sim.Kernel
+	auth Authorizer
+	nets map[string]*netInfo
+	svcs map[string]*service
+	eps  map[string]*Endpoint // by app name
+	next struct {
+		serviceID uint32
+		session   uint32
+	}
+
+	// DeniedBindings counts authorization rejections.
+	DeniedBindings int64
+	// QoSDeadlineMisses counts supervised subscription-gap violations.
+	QoSDeadlineMisses int64
+	// StalePublishes counts publications by superseded providers that
+	// were dropped during update redirects.
+	StalePublishes int64
+	// RPCTimeouts counts CallTimeout expirations.
+	RPCTimeouts int64
+
+	attachedStations map[string]bool
+
+	// Service-discovery state (see discovery.go).
+	sdToken   uint64
+	sdWaiters map[uint64]func(sdOffer)
+}
+
+type netInfo struct {
+	net network.Network
+	mtu int
+}
+
+// service is one offered interface.
+type service struct {
+	name     string
+	id       uint32
+	provider *Endpoint
+	class    network.Class
+	netName  string // "" = local-only
+	handler  Handler
+	subs     []*subscription
+	version  int
+
+	// Latency samples enqueue→handler delivery for events and frames,
+	// and round-trip time for RPC.
+	Latency sim.Sample
+
+	// History retention for late joiners (see qos.go).
+	historyDepth int
+	history      []Event
+}
+
+type subscription struct {
+	ep *Endpoint
+	fn func(Event)
+	// QoS deadline supervision (see qos.go).
+	deadline       sim.Duration
+	lastRx         sim.Time
+	deadlineMisses int64
+}
+
+// Event is a delivered publication or stream frame.
+type Event struct {
+	Iface   string
+	Seq     uint32
+	Bytes   int
+	Payload any
+	// Published is when the producer published; Delivered is receipt.
+	Published sim.Time
+	Delivered sim.Time
+}
+
+// Latency returns publish→delivery latency.
+func (e Event) Latency() sim.Duration { return e.Delivered.Sub(e.Published) }
+
+// Handler serves RPC requests: it receives the request payload and
+// returns the response payload size and value, plus the virtual
+// processing time the provider needs.
+type Handler func(req any) (respBytes int, resp any, proc sim.Duration)
+
+// New creates a middleware on the kernel with the given authorizer
+// (nil means AllowAll).
+func New(k *sim.Kernel, auth Authorizer) *Middleware {
+	if auth == nil {
+		auth = AllowAll{}
+	}
+	return &Middleware{
+		k:         k,
+		auth:      auth,
+		nets:      map[string]*netInfo{},
+		svcs:      map[string]*service{},
+		eps:       map[string]*Endpoint{},
+		sdWaiters: map[uint64]func(sdOffer){},
+	}
+}
+
+// SetAuthorizer swaps the binding authorizer (runtime permission updates,
+// Section 4.2).
+func (m *Middleware) SetAuthorizer(a Authorizer) {
+	if a == nil {
+		a = AllowAll{}
+	}
+	m.auth = a
+}
+
+// AddNetwork registers a simulated network and its MTU for payload
+// segmentation.
+func (m *Middleware) AddNetwork(n network.Network, mtu int) {
+	if mtu <= 0 {
+		panic("soa: MTU must be positive")
+	}
+	m.nets[n.Name()] = &netInfo{net: n, mtu: mtu}
+}
+
+// Endpoint registers (or returns) the endpoint for an application
+// instance on an ECU. The middleware attaches the endpoint's station to
+// every registered network lazily on first use.
+func (m *Middleware) Endpoint(app, ecu string) *Endpoint {
+	if ep, ok := m.eps[app]; ok {
+		return ep
+	}
+	ep := &Endpoint{m: m, app: app, ecu: ecu}
+	m.eps[app] = ep
+	return ep
+}
+
+// RemoveEndpoint tears an application's endpoint down: its offers vanish
+// from discovery and its subscriptions are dropped (used when stopping or
+// updating apps).
+func (m *Middleware) RemoveEndpoint(app string) {
+	ep, ok := m.eps[app]
+	if !ok {
+		return
+	}
+	delete(m.eps, app)
+	for name, svc := range m.svcs {
+		if svc.provider == ep {
+			delete(m.svcs, name)
+			continue
+		}
+		kept := svc.subs[:0]
+		for _, s := range svc.subs {
+			if s.ep != ep {
+				kept = append(kept, s)
+			}
+		}
+		svc.subs = kept
+	}
+}
+
+// Find looks an offered interface up (service discovery). It returns the
+// provider app name and interface version.
+func (m *Middleware) Find(iface string) (provider string, version int, err error) {
+	svc, ok := m.svcs[iface]
+	if !ok {
+		return "", 0, &ErrNoService{Iface: iface}
+	}
+	return svc.provider.app, svc.version, nil
+}
+
+// Services returns the sorted names of all offered interfaces.
+func (m *Middleware) Services() []string {
+	out := make([]string, 0, len(m.svcs))
+	for n := range m.svcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServiceLatency returns the latency sample recorded for an interface.
+func (m *Middleware) ServiceLatency(iface string) *sim.Sample {
+	if svc, ok := m.svcs[iface]; ok {
+		return &svc.Latency
+	}
+	return &sim.Sample{}
+}
+
+// Endpoint is an application's port into the middleware.
+type Endpoint struct {
+	m   *Middleware
+	app string
+	ecu string
+
+	attached map[string]bool // networks this station is attached to
+	inflight map[uint32]func(Event)
+}
+
+// App returns the owning application name.
+func (e *Endpoint) App() string { return e.app }
+
+// ECU returns the hosting ECU name.
+func (e *Endpoint) ECU() string { return e.ecu }
+
+// Migrate moves the endpoint to another ECU (used by failover and DSE
+// what-if simulation). Offered services keep their identity.
+func (e *Endpoint) Migrate(ecu string) { e.ecu = ecu }
+
+// OfferOpts configures an offered interface.
+type OfferOpts struct {
+	// Class is the traffic class on the wire (default ClassPriority).
+	Class network.Class
+	// Network names the carrying network for cross-ECU consumers;
+	// "" restricts the service to same-ECU consumers.
+	Network string
+	// Handler serves RPC requests (Message paradigm only).
+	Handler Handler
+	// Version is the interface contract version (default 1).
+	Version int
+}
+
+// Offer publishes an interface into service discovery. Re-offering an
+// interface updates its provider (used by staged updates).
+func (e *Endpoint) Offer(iface string, opts OfferOpts) {
+	if opts.Network != "" {
+		if _, ok := e.m.nets[opts.Network]; !ok {
+			panic(fmt.Sprintf("soa: offer %s on unregistered network %q", iface, opts.Network))
+		}
+	}
+	if opts.Version == 0 {
+		opts.Version = 1
+	}
+	svc, ok := e.m.svcs[iface]
+	if !ok {
+		e.m.next.serviceID++
+		svc = &service{name: iface, id: e.m.next.serviceID}
+		e.m.svcs[iface] = svc
+	}
+	svc.provider = e
+	svc.class = opts.Class
+	svc.netName = opts.Network
+	svc.handler = opts.Handler
+	svc.version = opts.Version
+	if opts.Network != "" {
+		// Attach eagerly so the provider's station answers discovery.
+		e.m.ensureAttached(e.m.nets[opts.Network], e.ecu)
+	}
+	e.m.k.Trace("soa", "%s offers %s v%d on %q", e.app, iface, svc.version, opts.Network)
+}
+
+// Subscribe binds the endpoint to an Event or Stream interface. The
+// binding is authorized first (Section 4.2); unauthorized bindings fail
+// and are counted.
+func (e *Endpoint) Subscribe(iface string, fn func(Event)) error {
+	svc, ok := e.m.svcs[iface]
+	if !ok {
+		return &ErrNoService{Iface: iface}
+	}
+	if !e.m.auth.Authorize(e.app, iface) {
+		e.m.DeniedBindings++
+		e.m.k.Trace("soa", "DENIED subscribe %s -> %s", e.app, iface)
+		return &ErrUnauthorized{Client: e.app, Iface: iface}
+	}
+	svc.subs = append(svc.subs, &subscription{ep: e, fn: fn})
+	e.m.k.Trace("soa", "%s subscribed to %s", e.app, iface)
+	return nil
+}
+
+// Unsubscribe removes this endpoint's subscriptions to iface.
+func (e *Endpoint) Unsubscribe(iface string) {
+	svc, ok := e.m.svcs[iface]
+	if !ok {
+		return
+	}
+	kept := svc.subs[:0]
+	for _, s := range svc.subs {
+		if s.ep != e {
+			kept = append(kept, s)
+		}
+	}
+	svc.subs = kept
+}
+
+// Publish sends bytes (with an opaque payload value) to every subscriber
+// of an Event interface the endpoint owns.
+func (e *Endpoint) Publish(iface string, bytes int, payload any) {
+	e.publish(iface, 0, bytes, payload)
+}
+
+func (e *Endpoint) publish(iface string, seq uint32, bytes int, payload any) {
+	svc, ok := e.m.svcs[iface]
+	if !ok {
+		panic(fmt.Sprintf("soa: %s publishes unoffered interface %s", e.app, iface))
+	}
+	if svc.provider != e {
+		// A previous provider still emitting during an update's redirect
+		// window (Section 3.2): traffic has been redirected, so the
+		// stale publication is dropped, not delivered twice.
+		e.m.StalePublishes++
+		e.m.k.Trace("soa", "dropped stale publish of %s by %s", iface, e.app)
+		return
+	}
+	now := e.m.k.Now()
+	if svc.historyDepth > 0 {
+		svc.history = append(svc.history, Event{
+			Iface: iface, Seq: seq, Bytes: bytes, Payload: payload, Published: now,
+		})
+		if len(svc.history) > svc.historyDepth {
+			svc.history = svc.history[len(svc.history)-svc.historyDepth:]
+		}
+	}
+	for _, sub := range svc.subs {
+		sub := sub
+		ev := Event{Iface: iface, Seq: seq, Bytes: bytes, Payload: payload, Published: now}
+		e.m.transfer(svc, e, sub.ep, HeaderSize+bytes, func() {
+			ev.Delivered = e.m.k.Now()
+			svc.Latency.AddDuration(ev.Latency())
+			sub.fn(ev)
+		})
+	}
+}
+
+// CallTimeout performs an RPC like Call but invokes onTimeout (instead
+// of done) if the response has not arrived within d — the guard a client
+// needs when its provider may be stopped or updated mid-call.
+func (e *Endpoint) CallTimeout(iface string, reqBytes int, req any,
+	d sim.Duration, done func(Event), onTimeout func()) error {
+	if d <= 0 {
+		return fmt.Errorf("soa: non-positive RPC timeout")
+	}
+	fired := false
+	ref := e.m.k.After(d, func() {
+		if fired {
+			return
+		}
+		fired = true
+		e.m.RPCTimeouts++
+		if onTimeout != nil {
+			onTimeout()
+		}
+	})
+	return e.Call(iface, reqBytes, req, func(ev Event) {
+		if fired {
+			return // too late; the caller already handled the timeout
+		}
+		fired = true
+		ref.Cancel()
+		if done != nil {
+			done(ev)
+		}
+	})
+}
+
+// Call performs the Message (RPC) paradigm: request to the provider,
+// response back. done receives the response event. The call is
+// authorized like a subscription.
+func (e *Endpoint) Call(iface string, reqBytes int, req any, done func(Event)) error {
+	svc, ok := e.m.svcs[iface]
+	if !ok {
+		return &ErrNoService{Iface: iface}
+	}
+	if !e.m.auth.Authorize(e.app, iface) {
+		e.m.DeniedBindings++
+		e.m.k.Trace("soa", "DENIED call %s -> %s", e.app, iface)
+		return &ErrUnauthorized{Client: e.app, Iface: iface}
+	}
+	if svc.handler == nil {
+		return fmt.Errorf("soa: interface %s has no RPC handler", iface)
+	}
+	e.m.next.session++
+	start := e.m.k.Now()
+	provider := svc.provider
+	e.m.transfer(svc, e, provider, HeaderSize+reqBytes, func() {
+		respBytes, resp, proc := svc.handler(req)
+		if proc < 0 {
+			proc = 0
+		}
+		e.m.k.After(proc, func() {
+			e.m.transfer(svc, provider, e, HeaderSize+respBytes, func() {
+				now := e.m.k.Now()
+				svc.Latency.AddDuration(now.Sub(start))
+				if done != nil {
+					done(Event{Iface: iface, Bytes: respBytes, Payload: resp,
+						Published: start, Delivered: now})
+				}
+			})
+		})
+	})
+	return nil
+}
+
+// transfer moves n wire bytes from src to dst endpoint, invoking done at
+// full delivery. Same-ECU transfers cost LocalDelay; cross-ECU transfers
+// are segmented to the network MTU and ride the simulated network.
+func (m *Middleware) transfer(svc *service, src, dst *Endpoint, wireBytes int, done func()) {
+	if src.ecu == dst.ecu {
+		m.k.After(LocalDelay, done)
+		return
+	}
+	if svc.netName == "" {
+		panic(fmt.Sprintf("soa: interface %s is local-only but %s(%s) -> %s(%s)",
+			svc.name, src.app, src.ecu, dst.app, dst.ecu))
+	}
+	ni := m.nets[svc.netName]
+	m.ensureAttached(ni, src.ecu)
+	m.ensureAttached(ni, dst.ecu)
+	segments := (wireBytes + ni.mtu - 1) / ni.mtu
+	if segments == 0 {
+		segments = 1
+	}
+	remaining := segments
+	for i := 0; i < segments; i++ {
+		bytes := ni.mtu
+		if i == segments-1 {
+			bytes = wireBytes - (segments-1)*ni.mtu
+		}
+		ni.net.Send(network.Message{
+			ID:    svc.id,
+			Src:   src.ecu,
+			Dst:   dst.ecu,
+			Class: svc.class,
+			Bytes: bytes,
+			Payload: segPayload{svc: svc.name, done: func() {
+				remaining--
+				if remaining == 0 {
+					done()
+				}
+			}},
+		})
+	}
+}
+
+// segPayload carries segment-completion callbacks through the network.
+type segPayload struct {
+	svc  string
+	done func()
+}
+
+// ensureAttached attaches an ECU station to a network on first use. The
+// receiver dispatches segment completions.
+func (m *Middleware) ensureAttached(ni *netInfo, ecu string) {
+	key := ni.net.Name() + "/" + ecu
+	if m.attachedStations == nil {
+		m.attachedStations = map[string]bool{}
+	}
+	if m.attachedStations[key] {
+		return
+	}
+	m.attachedStations[key] = true
+	ni.net.Attach(ecu, func(d network.Delivery) {
+		if m.handleSD(ecu, d) {
+			return
+		}
+		if sp, ok := d.Msg.Payload.(segPayload); ok {
+			sp.done()
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package soa
+
+import (
+	"fmt"
+
+	"dynaplat/internal/sim"
+)
+
+// QoS carries the DDS-inspired per-subscription qualities of service the
+// paper's Section 2.1 alludes to ("Data Distribution Service … among many
+// others"). Two policies matter for automotive services and are
+// implemented here:
+//
+//   - History: a late-joining subscriber immediately receives the last
+//     value(s) published, instead of waiting for the next period — vital
+//     for state-like topics (gear position, door state).
+//   - Deadline: the middleware supervises the inter-delivery gap and
+//     counts violations, feeding the §3.4 monitoring story at the
+//     communication layer.
+type QoS struct {
+	// History requests the last n published samples on subscription
+	// (0 = none).
+	History int
+	// Deadline is the maximum tolerated gap between deliveries
+	// (0 = unsupervised).
+	Deadline sim.Duration
+	// OnDeadlineMiss, when non-nil, is invoked (in virtual time) for
+	// each supervised gap violation.
+	OnDeadlineMiss func(iface string, gap sim.Duration)
+}
+
+// historyCap is the maximum retained history per interface.
+const historyCap = 16
+
+// EnableHistory makes an offered interface retain its last depth
+// publications for late joiners. Must be called by the provider.
+func (e *Endpoint) EnableHistory(iface string, depth int) error {
+	svc, ok := e.m.svcs[iface]
+	if !ok || svc.provider != e {
+		return fmt.Errorf("soa: %s does not offer %s", e.app, iface)
+	}
+	if depth < 1 || depth > historyCap {
+		return fmt.Errorf("soa: history depth %d outside [1,%d]", depth, historyCap)
+	}
+	svc.historyDepth = depth
+	return nil
+}
+
+// SubscribeQoS subscribes with qualities of service. History samples (if
+// enabled on the interface and requested) are delivered immediately after
+// the local IPC delay; a deadline, if set, is supervised until
+// Unsubscribe.
+func (e *Endpoint) SubscribeQoS(iface string, qos QoS, fn func(Event)) error {
+	svc, ok := e.m.svcs[iface]
+	if !ok {
+		return &ErrNoService{Iface: iface}
+	}
+	sub := &subscription{ep: e}
+	wrapped := fn
+	if qos.Deadline > 0 {
+		sub.deadline = qos.Deadline
+		sub.lastRx = e.m.k.Now()
+		wrapped = func(ev Event) {
+			sub.lastRx = e.m.k.Now()
+			fn(ev)
+		}
+		e.superviseDeadline(iface, sub, qos)
+	}
+	sub.fn = wrapped
+	if err := e.subscribeExisting(iface, sub); err != nil {
+		return err
+	}
+	// Late-join history delivery.
+	if qos.History > 0 && svc.historyDepth > 0 {
+		n := qos.History
+		if n > len(svc.history) {
+			n = len(svc.history)
+		}
+		for _, ev := range svc.history[len(svc.history)-n:] {
+			ev := ev
+			e.m.k.After(LocalDelay, func() {
+				ev.Delivered = e.m.k.Now()
+				wrapped(ev)
+			})
+		}
+	}
+	return nil
+}
+
+// subscribeExisting authorizes and installs a pre-built subscription.
+func (e *Endpoint) subscribeExisting(iface string, sub *subscription) error {
+	svc := e.m.svcs[iface]
+	if !e.m.auth.Authorize(e.app, iface) {
+		e.m.DeniedBindings++
+		return &ErrUnauthorized{Client: e.app, Iface: iface}
+	}
+	svc.subs = append(svc.subs, sub)
+	return nil
+}
+
+// superviseDeadline arms the periodic gap check for one subscription.
+func (e *Endpoint) superviseDeadline(iface string, sub *subscription, qos QoS) {
+	var tick func()
+	tick = func() {
+		// Stop silently once the subscription is gone.
+		svc, ok := e.m.svcs[iface]
+		if !ok {
+			return
+		}
+		alive := false
+		for _, s := range svc.subs {
+			if s == sub {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return
+		}
+		gap := e.m.k.Now().Sub(sub.lastRx)
+		if gap > sub.deadline {
+			sub.deadlineMisses++
+			e.m.QoSDeadlineMisses++
+			if qos.OnDeadlineMiss != nil {
+				qos.OnDeadlineMiss(iface, gap)
+			}
+			sub.lastRx = e.m.k.Now() // re-arm, one miss per gap
+		}
+		e.m.k.After(sub.deadline, tick)
+	}
+	e.m.k.After(sub.deadline, tick)
+}

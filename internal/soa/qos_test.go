@@ -1,0 +1,143 @@
+package soa
+
+import (
+	"errors"
+	"testing"
+
+	"dynaplat/internal/sim"
+)
+
+func TestQoSHistoryLateJoiner(t *testing.T) {
+	r := newRig(nil)
+	prod := r.mw.Endpoint("p", "ecu1")
+	prod.Offer("Gear", OfferOpts{})
+	if err := prod.EnableHistory("Gear", 3); err != nil {
+		t.Fatal(err)
+	}
+	for gear := 1; gear <= 5; gear++ {
+		prod.Publish("Gear", 1, gear)
+	}
+	r.k.Run()
+	// Late joiner asks for the last 2 samples.
+	var got []any
+	cons := r.mw.Endpoint("c", "ecu1")
+	err := cons.SubscribeQoS("Gear", QoS{History: 2}, func(ev Event) {
+		got = append(got, ev.Payload)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run()
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("history = %v, want [4 5]", got)
+	}
+	// Future publications still arrive.
+	prod.Publish("Gear", 1, 6)
+	r.k.Run()
+	if len(got) != 3 || got[2] != 6 {
+		t.Errorf("live after history = %v", got)
+	}
+}
+
+func TestQoSHistoryRequiresProviderOptIn(t *testing.T) {
+	r := newRig(nil)
+	prod := r.mw.Endpoint("p", "ecu1")
+	prod.Offer("Gear", OfferOpts{})
+	prod.Publish("Gear", 1, 1)
+	r.k.Run()
+	got := 0
+	cons := r.mw.Endpoint("c", "ecu1")
+	// No EnableHistory → subscriber gets nothing retroactively.
+	if err := cons.SubscribeQoS("Gear", QoS{History: 5}, func(Event) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run()
+	if got != 0 {
+		t.Errorf("history delivered without provider opt-in: %d", got)
+	}
+}
+
+func TestQoSHistoryValidation(t *testing.T) {
+	r := newRig(nil)
+	prod := r.mw.Endpoint("p", "ecu1")
+	prod.Offer("Gear", OfferOpts{})
+	if err := prod.EnableHistory("Ghost", 1); err == nil {
+		t.Error("unknown iface accepted")
+	}
+	if err := prod.EnableHistory("Gear", 0); err == nil {
+		t.Error("zero depth accepted")
+	}
+	if err := prod.EnableHistory("Gear", historyCap+1); err == nil {
+		t.Error("huge depth accepted")
+	}
+	other := r.mw.Endpoint("x", "ecu1")
+	if err := other.EnableHistory("Gear", 1); err == nil {
+		t.Error("non-provider enabled history")
+	}
+}
+
+func TestQoSDeadlineSupervision(t *testing.T) {
+	r := newRig(nil)
+	prod := r.mw.Endpoint("p", "ecu1")
+	prod.Offer("Speed", OfferOpts{})
+	cons := r.mw.Endpoint("c", "ecu1")
+	var misses []sim.Duration
+	err := cons.SubscribeQoS("Speed", QoS{
+		Deadline:       50 * sim.Millisecond,
+		OnDeadlineMiss: func(_ string, gap sim.Duration) { misses = append(misses, gap) },
+	}, func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish regularly, then go silent for 300ms, then resume.
+	tick := r.k.Every(0, 20*sim.Millisecond, func() { prod.Publish("Speed", 4, nil) })
+	r.k.At(sim.Time(200*sim.Millisecond), func() { tick.Stop() })
+	r.k.At(sim.Time(500*sim.Millisecond), func() {
+		r.k.Every(r.k.Now(), 20*sim.Millisecond, func() { prod.Publish("Speed", 4, nil) })
+	})
+	r.k.RunUntil(sim.Time(700 * sim.Millisecond))
+	if len(misses) == 0 {
+		t.Fatal("silence not detected")
+	}
+	// ~300ms silence with 50ms deadline → a handful of misses, not 1,
+	// not dozens.
+	if len(misses) < 3 || len(misses) > 8 {
+		t.Errorf("misses = %d (%v)", len(misses), misses)
+	}
+	if r.mw.QoSDeadlineMisses != int64(len(misses)) {
+		t.Errorf("counter = %d, want %d", r.mw.QoSDeadlineMisses, len(misses))
+	}
+}
+
+func TestQoSDeadlineStopsAfterUnsubscribe(t *testing.T) {
+	r := newRig(nil)
+	prod := r.mw.Endpoint("p", "ecu1")
+	prod.Offer("Speed", OfferOpts{})
+	cons := r.mw.Endpoint("c", "ecu1")
+	misses := 0
+	cons.SubscribeQoS("Speed", QoS{
+		Deadline:       20 * sim.Millisecond,
+		OnDeadlineMiss: func(string, sim.Duration) { misses++ },
+	}, func(Event) {})
+	r.k.At(sim.Time(10*sim.Millisecond), func() { cons.Unsubscribe("Speed") })
+	r.k.RunUntil(sim.Time(500 * sim.Millisecond))
+	if misses != 0 {
+		t.Errorf("misses after unsubscribe = %d", misses)
+	}
+}
+
+func TestQoSSubscribeUnknownAndUnauthorized(t *testing.T) {
+	r := newRig(nil)
+	cons := r.mw.Endpoint("c", "ecu1")
+	var ns *ErrNoService
+	if err := cons.SubscribeQoS("Ghost", QoS{}, func(Event) {}); !errors.As(err, &ns) {
+		t.Errorf("err = %v", err)
+	}
+	r2 := newRig(denyAll{})
+	p2 := r2.mw.Endpoint("p", "ecu1")
+	p2.Offer("S", OfferOpts{})
+	var ua *ErrUnauthorized
+	if err := r2.mw.Endpoint("c", "ecu1").SubscribeQoS("S", QoS{}, func(Event) {}); !errors.As(err, &ua) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+package soa
+
+import (
+	"testing"
+)
+
+func TestStalePublishDroppedAfterProviderSwitch(t *testing.T) {
+	// Simulates the staged-update redirect window: v1 offers, v2
+	// re-offers (taking over the service), v1 keeps publishing briefly.
+	r := newRig(nil)
+	v1 := r.mw.Endpoint("brake", "ecu1")
+	v2 := r.mw.Endpoint("brake@2", "ecu1")
+	v1.Offer("Status", OfferOpts{})
+	var got []string
+	r.mw.Endpoint("dash", "ecu1").Subscribe("Status", func(ev Event) {
+		got = append(got, ev.Payload.(string))
+	})
+	v1.Publish("Status", 4, "v1")
+	r.k.Run()
+	// Redirect: v2 takes over the interface.
+	v2.Offer("Status", OfferOpts{Version: 2})
+	v1.Publish("Status", 4, "v1-stale") // must be dropped
+	v2.Publish("Status", 4, "v2")
+	r.k.Run()
+	if len(got) != 2 || got[0] != "v1" || got[1] != "v2" {
+		t.Fatalf("deliveries = %v", got)
+	}
+	if r.mw.StalePublishes != 1 {
+		t.Errorf("StalePublishes = %d", r.mw.StalePublishes)
+	}
+	// Subscriptions survived the provider switch.
+	v2.Publish("Status", 4, "v2b")
+	r.k.Run()
+	if len(got) != 3 {
+		t.Errorf("post-switch deliveries = %v", got)
+	}
+}

@@ -1,0 +1,103 @@
+// Package soa implements dynaplat's service-oriented middleware: service
+// discovery (offer/find/subscribe), the paper's three communication
+// paradigms — Event (publish/subscribe), Message (RPC) and Stream
+// (continuous frames with inter-frame dependencies) — plus payload
+// segmentation over the simulated networks and an authorization hook for
+// dynamic binding (Sections 2.1 and 4.2).
+package soa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MessageType tags a wire message.
+type MessageType uint8
+
+// Wire message types.
+const (
+	TypeEvent MessageType = iota + 1
+	TypeRequest
+	TypeResponse
+	TypeStreamFrame
+	TypeSubscribe
+	TypeOffer
+)
+
+func (t MessageType) String() string {
+	switch t {
+	case TypeEvent:
+		return "event"
+	case TypeRequest:
+		return "request"
+	case TypeResponse:
+		return "response"
+	case TypeStreamFrame:
+		return "stream-frame"
+	case TypeSubscribe:
+		return "subscribe"
+	case TypeOffer:
+		return "offer"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Header is the SOME/IP-inspired wire header: service and method identify
+// the interface; session correlates requests with responses; seq numbers
+// stream frames.
+type Header struct {
+	ServiceID uint32
+	Type      MessageType
+	Session   uint32
+	Seq       uint32
+	Length    uint32 // payload length in bytes
+}
+
+// HeaderSize is the encoded header length.
+const HeaderSize = 17
+
+// ErrShortBuffer reports a truncated wire message.
+var ErrShortBuffer = errors.New("soa: short buffer")
+
+// ErrBadMagic reports a corrupted or foreign message.
+var ErrBadMagic = errors.New("soa: bad magic")
+
+const magic = 0xDA
+
+// EncodeHeader serializes h followed by payload into a fresh buffer.
+func EncodeHeader(h Header, payload []byte) []byte {
+	h.Length = uint32(len(payload))
+	buf := make([]byte, HeaderSize+len(payload))
+	buf[0] = magic
+	binary.BigEndian.PutUint32(buf[1:], h.ServiceID)
+	buf[5] = byte(h.Type)
+	binary.BigEndian.PutUint32(buf[6:], h.Session)
+	binary.BigEndian.PutUint32(buf[10:], h.Seq)
+	// Length is 24-bit, stored in bytes 14..16.
+	buf[14] = byte(h.Length >> 16)
+	buf[15] = byte(h.Length >> 8)
+	buf[16] = byte(h.Length)
+	copy(buf[HeaderSize:], payload)
+	return buf
+}
+
+// DecodeHeader parses a wire message, returning the header and payload.
+func DecodeHeader(buf []byte) (Header, []byte, error) {
+	if len(buf) < HeaderSize {
+		return Header{}, nil, ErrShortBuffer
+	}
+	if buf[0] != magic {
+		return Header{}, nil, ErrBadMagic
+	}
+	var h Header
+	h.ServiceID = binary.BigEndian.Uint32(buf[1:])
+	h.Type = MessageType(buf[5])
+	h.Session = binary.BigEndian.Uint32(buf[6:])
+	h.Seq = binary.BigEndian.Uint32(buf[10:])
+	h.Length = uint32(buf[14])<<16 | uint32(buf[15])<<8 | uint32(buf[16])
+	if len(buf) < HeaderSize+int(h.Length) {
+		return Header{}, nil, ErrShortBuffer
+	}
+	return h, buf[HeaderSize : HeaderSize+int(h.Length)], nil
+}

@@ -1,0 +1,196 @@
+// Package workload generates seeded synthetic application sets and
+// systems modeled on the paper's domain examples: motor/suspension
+// control loops (deterministic, kHz-range periods), ADAS functions
+// (deterministic, heavier, GPU-hungry) and infotainment (non-
+// deterministic, bursty). It replaces the production traces a vehicle
+// OEM would use, which are not available (see DESIGN.md substitutions).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/sched"
+	"dynaplat/internal/sim"
+)
+
+// controlPeriods are typical control-loop periods (Section 3.1: "fixed
+// activation intervals").
+var controlPeriods = []sim.Duration{
+	sim.Millisecond, 2 * sim.Millisecond, 5 * sim.Millisecond,
+	10 * sim.Millisecond, 20 * sim.Millisecond,
+}
+
+// adasPeriods are camera/radar-pipeline periods.
+var adasPeriods = []sim.Duration{
+	20 * sim.Millisecond, 33 * sim.Millisecond, 50 * sim.Millisecond, 100 * sim.Millisecond,
+}
+
+// ControlTasks generates n motor/suspension-style deterministic tasks
+// with total utilization targetU, WCETs stated at the reference clock.
+func ControlTasks(rng *sim.RNG, n int, targetU float64) []sched.Task {
+	if n <= 0 {
+		return nil
+	}
+	shares := uunifast(rng, n, targetU)
+	tasks := make([]sched.Task, n)
+	for i := range tasks {
+		p := controlPeriods[rng.Intn(len(controlPeriods))]
+		wcet := sim.Duration(float64(p) * shares[i])
+		if wcet < sim.Microsecond {
+			wcet = sim.Microsecond
+		}
+		tasks[i] = sched.Task{
+			Name:   fmt.Sprintf("ctl%02d", i),
+			Period: p, WCET: wcet, Deadline: p,
+		}
+	}
+	return tasks
+}
+
+// uunifast draws n utilization shares summing to u (the standard unbiased
+// task-set generator from the real-time literature).
+func uunifast(rng *sim.RNG, n int, u float64) []float64 {
+	shares := make([]float64, n)
+	sum := u
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-i-1))
+		shares[i] = sum - next
+		sum = next
+	}
+	shares[n-1] = sum
+	return shares
+}
+
+// ControlApps generates deterministic model apps with the given total
+// utilization and ASIL mix.
+func ControlApps(rng *sim.RNG, n int, targetU float64) []*model.App {
+	tasks := ControlTasks(rng, n, targetU)
+	asils := []model.ASIL{model.ASILB, model.ASILC, model.ASILD}
+	apps := make([]*model.App, len(tasks))
+	for i, t := range tasks {
+		apps[i] = &model.App{
+			Name: t.Name, Kind: model.Deterministic,
+			ASIL:   asils[rng.Intn(len(asils))],
+			Period: t.Period, WCET: t.WCET, Deadline: t.Deadline,
+			Jitter:   t.Period / 4,
+			MemoryKB: rng.Range(32, 256),
+			Version:  1, Replicas: 1,
+		}
+	}
+	return apps
+}
+
+// ADASApps generates ADAS-style deterministic apps (heavy WCET, some
+// needing a GPU).
+func ADASApps(rng *sim.RNG, n int) []*model.App {
+	apps := make([]*model.App, n)
+	for i := range apps {
+		p := adasPeriods[rng.Intn(len(adasPeriods))]
+		apps[i] = &model.App{
+			Name: fmt.Sprintf("adas%02d", i), Kind: model.Deterministic,
+			ASIL:   model.ASILD,
+			Period: p, WCET: sim.Duration(float64(p) * (0.1 + 0.2*rng.Float64())),
+			Deadline: p, Jitter: p / 2,
+			MemoryKB: rng.Range(512, 4096),
+			NeedsGPU: rng.Bool(0.5),
+			Version:  1, Replicas: 1,
+		}
+	}
+	return apps
+}
+
+// InfotainmentApps generates NDA apps.
+func InfotainmentApps(rng *sim.RNG, n int) []*model.App {
+	apps := make([]*model.App, n)
+	for i := range apps {
+		apps[i] = &model.App{
+			Name: fmt.Sprintf("info%02d", i), Kind: model.NonDeterministic,
+			ASIL: model.QM, MemoryKB: rng.Range(1024, 16384),
+			Version: 1, Replicas: 1,
+		}
+	}
+	return apps
+}
+
+// BurstSource submits bursty NDA jobs: exponential inter-arrivals with
+// the given mean, uniformly sized jobs. submit is called for each job;
+// stop it with the returned cancel func.
+type BurstSource struct {
+	stopped bool
+}
+
+// Start launches the source on the kernel.
+func (b *BurstSource) Start(k *sim.Kernel, rng *sim.RNG,
+	meanInterarrival, jobLo, jobHi sim.Duration, submit func(sim.Duration)) {
+	var next func()
+	next = func() {
+		if b.stopped {
+			return
+		}
+		submit(rng.DurationRange(jobLo, jobHi))
+		gap := sim.Duration(rng.Exponential(float64(meanInterarrival)))
+		if gap < sim.Microsecond {
+			gap = sim.Microsecond
+		}
+		k.After(gap, next)
+	}
+	k.After(0, next)
+}
+
+// Stop halts the source after the current event.
+func (b *BurstSource) Stop() { b.stopped = true }
+
+// Fleet builds a complete synthetic vehicle system: nECU RTOS computing
+// platforms plus one POSIX head unit on a TSN backbone, carrying nCtl
+// control apps (total utilization uCtl across the fleet), nADAS ADAS
+// apps and nInfo infotainment apps. Apps are left unplaced: feed the
+// result to the dse package.
+func Fleet(rng *sim.RNG, nECU, nCtl, nADAS, nInfo int, uCtl float64) *model.System {
+	sys := model.NewSystem("fleet")
+	var attach []string
+	for i := 0; i < nECU; i++ {
+		name := fmt.Sprintf("cpm%d", i)
+		sys.ECUs = append(sys.ECUs, &model.ECU{
+			Name: name, CPUMHz: 200 + 200*rng.Intn(3), MemoryKB: 8 * 1024,
+			HasMMU: true, HasCryptoHW: i == 0, HasGPU: i == nECU-1,
+			OS: model.OSRTOS, Cost: 15 + 10*rng.Intn(3),
+		})
+		attach = append(attach, name)
+	}
+	sys.ECUs = append(sys.ECUs, &model.ECU{
+		Name: "head", CPUMHz: 1200, MemoryKB: 256 * 1024,
+		HasMMU: true, OS: model.OSPOSIX, Cost: 30,
+	})
+	attach = append(attach, "head")
+	sys.Networks = append(sys.Networks, &model.Network{
+		Name: "backbone", Kind: model.NetEthernet,
+		BitsPerSecond: 100_000_000, Attached: attach,
+	})
+	sys.Apps = append(sys.Apps, ControlApps(rng, nCtl, uCtl)...)
+	sys.Apps = append(sys.Apps, ADASApps(rng, nADAS)...)
+	info := InfotainmentApps(rng, nInfo)
+	for _, a := range info {
+		a.Candidates = []string{"head"}
+	}
+	sys.Apps = append(sys.Apps, info...)
+	// Every control app publishes a status event on the backbone; the
+	// head unit's first infotainment app subscribes (the dashboard).
+	for _, a := range sys.Apps {
+		if a.Kind != model.Deterministic {
+			continue
+		}
+		sys.Interfaces = append(sys.Interfaces, &model.Interface{
+			Name: a.Name + ".status", Owner: a.Name, Paradigm: model.Event,
+			PayloadBytes: 16, Period: a.Period,
+			LatencyBound: a.Period, Network: "backbone", Version: 1,
+		})
+		if nInfo > 0 {
+			sys.Bindings = append(sys.Bindings, model.Binding{
+				Client: info[0].Name, Interface: a.Name + ".status",
+			})
+		}
+	}
+	return sys
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/sched"
+	"dynaplat/internal/sim"
+)
+
+func TestControlTasksUtilization(t *testing.T) {
+	rng := sim.NewRNG(1)
+	tasks := ControlTasks(rng, 10, 0.6)
+	if len(tasks) != 10 {
+		t.Fatalf("n = %d", len(tasks))
+	}
+	if err := sched.ValidateSet(tasks); err != nil {
+		t.Fatal(err)
+	}
+	u := sched.TotalUtilization(tasks)
+	if u < 0.5 || u > 0.65 {
+		t.Errorf("utilization = %v, want ~0.6 (WCET clamping may shave a little)", u)
+	}
+}
+
+func TestControlTasksUtilizationProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, n8 uint8) bool {
+		n := int(n8%20) + 1
+		tasks := ControlTasks(sim.NewRNG(seed), n, 0.5)
+		u := sched.TotalUtilization(tasks)
+		// Sum of uunifast shares = 0.5, modulo 1µs WCET clamping upward.
+		return u > 0.3 && u < 0.7 && sched.ValidateSet(tasks) == nil
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestControlTasksEmpty(t *testing.T) {
+	if got := ControlTasks(sim.NewRNG(1), 0, 0.5); got != nil {
+		t.Errorf("n=0 → %v", got)
+	}
+}
+
+func TestAppGenerators(t *testing.T) {
+	rng := sim.NewRNG(2)
+	ctl := ControlApps(rng, 5, 0.4)
+	for _, a := range ctl {
+		if a.Kind != model.Deterministic || a.Period <= 0 || a.WCET <= 0 {
+			t.Errorf("bad control app %+v", a)
+		}
+	}
+	adas := ADASApps(rng, 5)
+	gpu := false
+	for _, a := range adas {
+		if a.Kind != model.Deterministic || a.ASIL != model.ASILD {
+			t.Errorf("bad adas app %+v", a)
+		}
+		gpu = gpu || a.NeedsGPU
+	}
+	info := InfotainmentApps(rng, 3)
+	for _, a := range info {
+		if a.Kind != model.NonDeterministic || a.ASIL != model.QM {
+			t.Errorf("bad info app %+v", a)
+		}
+	}
+}
+
+func TestFleetValidates(t *testing.T) {
+	rng := sim.NewRNG(3)
+	sys := Fleet(rng, 3, 8, 2, 2, 0.8)
+	// Unplaced systems must pass validation (placement rules skipped).
+	rep := model.Validate(sys)
+	if !rep.OK() {
+		t.Fatalf("fleet invalid: %v", rep.Errors())
+	}
+	if len(sys.ECUs) != 4 { // 3 CPMs + head
+		t.Errorf("ecus = %d", len(sys.ECUs))
+	}
+	if len(sys.Apps) != 12 {
+		t.Errorf("apps = %d", len(sys.Apps))
+	}
+	// Deterministic apps publish status interfaces.
+	if len(sys.Interfaces) != 10 {
+		t.Errorf("interfaces = %d, want 10", len(sys.Interfaces))
+	}
+	if len(sys.Bindings) != 10 {
+		t.Errorf("bindings = %d", len(sys.Bindings))
+	}
+	// Determinism: same seed, same fleet.
+	sys2 := Fleet(sim.NewRNG(3), 3, 8, 2, 2, 0.8)
+	if model.Format(sys) != model.Format(sys2) {
+		t.Error("fleet generation not deterministic")
+	}
+}
+
+func TestBurstSource(t *testing.T) {
+	k := sim.NewKernel(4)
+	rng := k.RNG().Split()
+	var jobs []sim.Duration
+	src := &BurstSource{}
+	src.Start(k, rng, 10*sim.Millisecond, sim.Millisecond, 5*sim.Millisecond,
+		func(d sim.Duration) { jobs = append(jobs, d) })
+	k.RunUntil(sim.Time(sim.Second))
+	if len(jobs) < 50 || len(jobs) > 200 {
+		t.Errorf("jobs = %d, want ~100 (1s / 10ms)", len(jobs))
+	}
+	for _, j := range jobs {
+		if j < sim.Millisecond || j > 5*sim.Millisecond {
+			t.Errorf("job size %v out of range", j)
+		}
+	}
+	src.Stop()
+	n := len(jobs)
+	k.RunUntil(sim.Time(2 * sim.Second))
+	if len(jobs) != n {
+		t.Error("source kept producing after Stop")
+	}
+}

@@ -1,0 +1,103 @@
+package xil
+
+import (
+	"math"
+
+	"dynaplat/internal/sim"
+)
+
+// Standard driving-cycle scenarios for the cruise function, standing in
+// for the homologation cycles a real OEM test bench replays. Each returns
+// a Scenario whose setpoint profiles speed over time.
+
+// UrbanCycle is stop-and-go city driving: accelerate to 14 m/s, stop at a
+// light, pull away again, with a 90-second horizon.
+func UrbanCycle() Scenario {
+	return Scenario{
+		Name:     "urban-cycle",
+		Duration: 90 * sim.Second,
+		Setpoint: func(t sim.Time) float64 {
+			switch {
+			case t < sim.Time(30*sim.Second):
+				return 14
+			case t < sim.Time(45*sim.Second):
+				return 0 // red light
+			default:
+				return 14
+			}
+		},
+		SettleBand: 0.7,
+	}
+}
+
+// HighwayCruise ramps onto the highway at 33 m/s and drops to 22 m/s for
+// a construction zone.
+func HighwayCruise() Scenario {
+	return Scenario{
+		Name:     "highway-cruise",
+		Duration: 120 * sim.Second,
+		Setpoint: func(t sim.Time) float64 {
+			if t >= sim.Time(80*sim.Second) {
+				return 22 // construction zone
+			}
+			return 33
+		},
+		SettleBand: 0.7,
+	}
+}
+
+// NewAdaptiveCruisePID returns gains for profile tracking with braking
+// authority: unlike the plain cruise PID (whose actuator floor is zero —
+// it can only coast), the adaptive variant commands negative force, as a
+// cruise system integrated with the brake actuator does.
+func NewAdaptiveCruisePID() *PID {
+	p := NewCruisePID()
+	p.OutMin = -5000
+	return p
+}
+
+// TrackingResult measures how well a run followed a changing profile.
+type TrackingResult struct {
+	// RMSError is the root-mean-square speed error over the run,
+	// excluding an initial ramp-in window.
+	RMSError float64
+	// MaxError is the largest error after the ramp-in window.
+	MaxError float64
+}
+
+// TrackProfile runs a MiL loop over the scenario and reports tracking
+// quality, skipping the first rampIn of each setpoint change (a step
+// change necessarily opens a transient error).
+func TrackProfile(plant Plant, pid *PID, sc Scenario, cfg Config, rampIn sim.Duration) TrackingResult {
+	var sumSq float64
+	var n int
+	var maxErr float64
+	lastSetpoint := sc.Setpoint(0)
+	changeAt := sim.Time(0)
+	for t := sim.Time(0); t < sim.Time(sc.Duration); t = t.Add(cfg.ControlPeriod) {
+		sp := sc.Setpoint(t)
+		if sp != lastSetpoint {
+			lastSetpoint = sp
+			changeAt = t
+		}
+		u := pid.Step(sp, plant.Output(), cfg.ControlPeriod)
+		plant.Step(u, cfg.ControlPeriod)
+		if t.Sub(changeAt) < rampIn {
+			continue
+		}
+		err := sp - plant.Output()
+		if err < 0 {
+			err = -err
+		}
+		sumSq += err * err
+		n++
+		if err > maxErr {
+			maxErr = err
+		}
+	}
+	res := TrackingResult{MaxError: maxErr}
+	if n > 0 {
+		res.RMSError = math.Sqrt(sumSq / float64(n))
+	}
+	return res
+}

@@ -1,0 +1,53 @@
+package xil
+
+import (
+	"testing"
+
+	"dynaplat/internal/sim"
+)
+
+func TestUrbanCycleTracking(t *testing.T) {
+	res := TrackProfile(NewVehicle(), NewAdaptiveCruisePID(), UrbanCycle(),
+		DefaultConfig(), 15*sim.Second)
+	if res.RMSError > 1.0 {
+		t.Errorf("urban RMS error = %.2f m/s", res.RMSError)
+	}
+	if res.MaxError > 3.0 {
+		t.Errorf("urban max error = %.2f m/s", res.MaxError)
+	}
+}
+
+func TestHighwayCruiseTracking(t *testing.T) {
+	res := TrackProfile(NewVehicle(), NewAdaptiveCruisePID(), HighwayCruise(),
+		DefaultConfig(), 35*sim.Second)
+	if res.RMSError > 1.0 {
+		t.Errorf("highway RMS error = %.2f m/s", res.RMSError)
+	}
+}
+
+func TestProfilesChangeSetpoint(t *testing.T) {
+	u := UrbanCycle()
+	if u.Setpoint(0) != 14 || u.Setpoint(sim.Time(35*sim.Second)) != 0 ||
+		u.Setpoint(sim.Time(60*sim.Second)) != 14 {
+		t.Error("urban profile wrong")
+	}
+	h := HighwayCruise()
+	if h.Setpoint(0) != 33 || h.Setpoint(sim.Time(90*sim.Second)) != 22 {
+		t.Error("highway profile wrong")
+	}
+}
+
+func TestUrbanCycleSettlesAtEveryLevel(t *testing.T) {
+	// The stop-and-go cycle also runs through the full XiL harness (the
+	// settle check applies to the final setpoint segment).
+	for _, level := range []Level{MiL, SiL} {
+		res, err := Run(level, NewVehicle(), NewAdaptiveCruisePID(), UrbanCycle(),
+			DefaultConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		if res.SteadyErr > 1.0 {
+			t.Errorf("%v: steady error %.2f", level, res.SteadyErr)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package xil
+
+import (
+	"math"
+
+	"dynaplat/internal/sim"
+)
+
+// QuarterCar is the classic quarter-car suspension model: a sprung body
+// mass over an unsprung wheel mass, connected by a spring, a passive
+// damper and an active actuator; the wheel rides a road profile through
+// the tire stiffness. The motor/suspension domain is the paper's example
+// of a hard deterministic workload (Section 3.1), and this plant lets a
+// suspension controller be tested at every XiL level.
+type QuarterCar struct {
+	// Masses [kg], stiffnesses [N/m], damping [Ns/m].
+	BodyMass, WheelMass     float64
+	SpringK, TireK, DamperC float64
+
+	// Road returns the road height [m] at time t (set by the scenario).
+	Road func(t sim.Duration) float64
+
+	// State: body/wheel positions and velocities (relative to rest).
+	zb, zbDot, zw, zwDot float64
+	elapsed              sim.Duration
+
+	// BodyAccel is the last computed body acceleration [m/s²] — ride
+	// comfort is its RMS.
+	BodyAccel float64
+}
+
+// NewQuarterCar returns a mid-size passenger-car corner.
+func NewQuarterCar() *QuarterCar {
+	return &QuarterCar{
+		BodyMass:  300,
+		WheelMass: 40,
+		SpringK:   16_000,
+		TireK:     160_000,
+		DamperC:   400,
+		Road:      func(sim.Duration) float64 { return 0 },
+	}
+}
+
+// Step implements Plant: u is the active actuator force [N] between body
+// and wheel (positive pushes them apart).
+func (q *QuarterCar) Step(u float64, dt sim.Duration) {
+	h := dt.Seconds()
+	// Sub-step for numerical stability at control-period rates.
+	const sub = 10
+	h /= sub
+	for i := 0; i < sub; i++ {
+		q.elapsed += dt / sub
+		road := q.Road(q.elapsed)
+		springF := q.SpringK * (q.zw - q.zb)
+		damperF := q.DamperC * (q.zwDot - q.zbDot)
+		tireF := q.TireK * (road - q.zw)
+		bodyAcc := (springF + damperF + u) / q.BodyMass
+		wheelAcc := (tireF - springF - damperF - u) / q.WheelMass
+		q.zb += q.zbDot * h
+		q.zbDot += bodyAcc * h
+		q.zw += q.zwDot * h
+		q.zwDot += wheelAcc * h
+		q.BodyAccel = bodyAcc
+	}
+}
+
+// Output implements Plant: the measured body velocity [m/s], which a
+// skyhook controller uses directly.
+func (q *QuarterCar) Output() float64 { return q.zbDot }
+
+// BodyPosition returns the body displacement [m].
+func (q *QuarterCar) BodyPosition() float64 { return q.zb }
+
+// Skyhook is the classic semi-active suspension law: the actuator
+// emulates a damper fixed to the "sky", u = −C_sky · ż_body, clamped to
+// the actuator authority.
+type Skyhook struct {
+	CSky   float64
+	MaxF   float64
+	lastU  float64
+	Active bool
+}
+
+// NewSkyhook returns a tuned skyhook controller.
+func NewSkyhook() *Skyhook { return &Skyhook{CSky: 4_000, MaxF: 3_000, Active: true} }
+
+// Force computes the actuator command from the measured body velocity.
+func (s *Skyhook) Force(bodyVel float64) float64 {
+	if !s.Active {
+		return 0
+	}
+	u := -s.CSky * bodyVel
+	if u > s.MaxF {
+		u = s.MaxF
+	}
+	if u < -s.MaxF {
+		u = -s.MaxF
+	}
+	s.lastU = u
+	return u
+}
+
+// Pothole returns a road profile with a rectangular pothole of the given
+// depth [m] between start and end.
+func Pothole(depth float64, start, end sim.Duration) func(sim.Duration) float64 {
+	return func(t sim.Duration) float64 {
+		if t >= start && t < end {
+			return -depth
+		}
+		return 0
+	}
+}
+
+// RideResult summarizes a suspension run.
+type RideResult struct {
+	// AccelRMS is the body-acceleration RMS [m/s²] — the comfort metric.
+	AccelRMS float64
+	// PeakBody is the maximum body displacement magnitude [m].
+	PeakBody float64
+	Steps    int
+}
+
+// RideTest runs the quarter car over a scenario road for duration at the
+// control period, with or without the skyhook active, and returns the
+// comfort metrics. It is a self-contained MiL loop; the full XiL levels
+// reuse QuarterCar via the Plant interface.
+func RideTest(q *QuarterCar, ctl *Skyhook, duration, period sim.Duration) RideResult {
+	res := RideResult{}
+	sumSq := 0.0
+	for t := sim.Duration(0); t < duration; t += period {
+		u := ctl.Force(q.Output())
+		q.Step(u, period)
+		sumSq += q.BodyAccel * q.BodyAccel
+		if m := math.Abs(q.BodyPosition()); m > res.PeakBody {
+			res.PeakBody = m
+		}
+		res.Steps++
+	}
+	if res.Steps > 0 {
+		res.AccelRMS = math.Sqrt(sumSq / float64(res.Steps))
+	}
+	return res
+}

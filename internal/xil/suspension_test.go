@@ -1,0 +1,106 @@
+package xil
+
+import (
+	"math"
+	"testing"
+
+	"dynaplat/internal/sim"
+)
+
+func potholeCar() *QuarterCar {
+	q := NewQuarterCar()
+	q.Road = Pothole(0.05, 500*sim.Millisecond, 600*sim.Millisecond)
+	return q
+}
+
+func TestQuarterCarAtRestStaysAtRest(t *testing.T) {
+	q := NewQuarterCar()
+	for i := 0; i < 1000; i++ {
+		q.Step(0, sim.Millisecond)
+	}
+	if math.Abs(q.BodyPosition()) > 1e-9 || math.Abs(q.Output()) > 1e-9 {
+		t.Errorf("flat road moved the body: z=%v v=%v", q.BodyPosition(), q.Output())
+	}
+}
+
+func TestQuarterCarRespondsToPothole(t *testing.T) {
+	q := potholeCar()
+	peak := 0.0
+	for i := 0; i < 2000; i++ {
+		q.Step(0, sim.Millisecond)
+		if m := math.Abs(q.BodyPosition()); m > peak {
+			peak = m
+		}
+	}
+	if peak < 0.005 {
+		t.Errorf("pothole barely moved the body: peak %vm", peak)
+	}
+	if peak > 0.2 {
+		t.Errorf("unstable response: peak %vm", peak)
+	}
+}
+
+func TestQuarterCarSettlesAfterDisturbance(t *testing.T) {
+	q := potholeCar()
+	for i := 0; i < 10000; i++ { // 10s, pothole long past
+		q.Step(0, sim.Millisecond)
+	}
+	if math.Abs(q.Output()) > 0.005 {
+		t.Errorf("body still moving 9s after pothole: v=%v", q.Output())
+	}
+}
+
+func TestSkyhookImprovesComfort(t *testing.T) {
+	period := sim.Millisecond
+	dur := 5 * sim.Second
+
+	passive := RideTest(potholeCar(), &Skyhook{Active: false}, dur, period)
+	active := RideTest(potholeCar(), NewSkyhook(), dur, period)
+
+	if passive.Steps != active.Steps || passive.Steps == 0 {
+		t.Fatalf("steps: %d vs %d", passive.Steps, active.Steps)
+	}
+	if active.AccelRMS >= passive.AccelRMS {
+		t.Errorf("skyhook did not improve comfort: active %.4f vs passive %.4f m/s²",
+			active.AccelRMS, passive.AccelRMS)
+	}
+	// Meaningful improvement, not noise.
+	if active.AccelRMS > 0.9*passive.AccelRMS {
+		t.Errorf("improvement below 10%%: active %.4f passive %.4f",
+			active.AccelRMS, passive.AccelRMS)
+	}
+}
+
+func TestSkyhookForceClamped(t *testing.T) {
+	s := NewSkyhook()
+	if f := s.Force(100); f != -s.MaxF {
+		t.Errorf("force = %v, want clamp at %v", f, -s.MaxF)
+	}
+	if f := s.Force(-100); f != s.MaxF {
+		t.Errorf("force = %v, want clamp at %v", f, s.MaxF)
+	}
+}
+
+func TestQuarterCarAsXiLPlant(t *testing.T) {
+	// The quarter car satisfies the Plant interface, so the SiL level
+	// can host a suspension controller like any other.
+	q := potholeCar()
+	ctl := NewSkyhook()
+	sc := Scenario{
+		Name:     "suspension-sil",
+		Duration: 3 * sim.Second,
+		// The "setpoint" for a suspension is zero body velocity.
+		Setpoint:   func(sim.Time) float64 { return 0 },
+		SettleBand: 0.05,
+	}
+	cfg := DefaultConfig()
+	cfg.ControlPeriod = sim.Millisecond
+	pid := &PID{Kp: ctl.CSky, OutMin: -ctl.MaxF, OutMax: ctl.MaxF, first: true}
+	res, err := Run(SiL, q, pid, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Settled {
+		t.Errorf("suspension did not settle at SiL: %+v", res)
+	}
+}

@@ -1,0 +1,342 @@
+// Package xil implements the X-in-the-loop testing harness of the
+// paper's Section 2.4 (and reference [17]): the same control function is
+// exercised at three test levels — Model-in-the-Loop (controller and
+// plant coupled directly), Software-in-the-Loop (controller hosted as a
+// deterministic app on the dynamic platform) and a HiL-equivalent level
+// that additionally routes sensor and actuator signals over a simulated
+// bus. Earlier levels run long before target hardware exists and are much
+// cheaper per simulated second, which is exactly the shift-left argument
+// the paper makes.
+package xil
+
+import (
+	"fmt"
+	"math"
+
+	"dynaplat/internal/can"
+	"dynaplat/internal/model"
+	"dynaplat/internal/network"
+	"dynaplat/internal/platform"
+	"dynaplat/internal/sim"
+)
+
+// Level is the X in XiL.
+type Level int
+
+const (
+	// MiL couples controller and plant directly.
+	MiL Level = iota
+	// SiL hosts the controller as a platform DA; signals stay ECU-local.
+	SiL
+	// HiL adds the communication system between sensor, controller and
+	// actuator (our hardware substitute: the simulated CAN bus).
+	HiL
+)
+
+func (l Level) String() string {
+	switch l {
+	case MiL:
+		return "MiL"
+	case SiL:
+		return "SiL"
+	case HiL:
+		return "HiL"
+	}
+	return "unknown"
+}
+
+// Plant is a continuous process integrated at a fixed step.
+type Plant interface {
+	// Step advances the plant by dt under actuator input u.
+	Step(u float64, dt sim.Duration)
+	// Output returns the measured process variable.
+	Output() float64
+}
+
+// Vehicle is a longitudinal vehicle model: u is traction force [N],
+// output is speed [m/s]; quadratic drag plus rolling resistance.
+type Vehicle struct {
+	MassKg  float64
+	DragCd  float64 // lumped 0.5*rho*cd*A
+	Rolling float64 // rolling-resistance force
+	V       float64
+}
+
+// NewVehicle returns a mid-size car model.
+func NewVehicle() *Vehicle {
+	return &Vehicle{MassKg: 1500, DragCd: 0.8, Rolling: 120}
+}
+
+// Step implements Plant.
+func (v *Vehicle) Step(u float64, dt sim.Duration) {
+	drag := v.DragCd*v.V*v.V + v.Rolling
+	if v.V <= 0 && u < drag {
+		drag = u // no reverse from resistance alone
+	}
+	acc := (u - drag) / v.MassKg
+	v.V += acc * dt.Seconds()
+	if v.V < 0 {
+		v.V = 0
+	}
+}
+
+// Output implements Plant.
+func (v *Vehicle) Output() float64 { return v.V }
+
+// PID is the controller under test.
+type PID struct {
+	Kp, Ki, Kd float64
+	OutMin     float64
+	OutMax     float64
+	integ      float64
+	prevErr    float64
+	first      bool
+}
+
+// NewCruisePID returns gains tuned for the Vehicle plant at 10 ms steps.
+func NewCruisePID() *PID {
+	return &PID{Kp: 800, Ki: 120, Kd: 40, OutMin: 0, OutMax: 6000, first: true}
+}
+
+// Step computes the actuator command for a setpoint/measurement pair.
+func (p *PID) Step(setpoint, measurement float64, dt sim.Duration) float64 {
+	err := setpoint - measurement
+	p.integ += err * dt.Seconds()
+	d := 0.0
+	if !p.first {
+		d = (err - p.prevErr) / dt.Seconds()
+	}
+	p.first = false
+	p.prevErr = err
+	u := p.Kp*err + p.Ki*p.integ + p.Kd*d
+	if u < p.OutMin {
+		u = p.OutMin
+	}
+	if u > p.OutMax {
+		u = p.OutMax
+	}
+	return u
+}
+
+// FaultKind selects an injected fault (Section 2.4: incremental testing
+// must expose faults before the system prototype exists).
+type FaultKind int
+
+const (
+	// FaultNone runs the nominal scenario.
+	FaultNone FaultKind = iota
+	// FaultSensorStuck freezes the measurement at its current value.
+	FaultSensorStuck
+	// FaultActuatorLoss zeroes the actuator command.
+	FaultActuatorLoss
+)
+
+// Scenario is one test case.
+type Scenario struct {
+	Name     string
+	Duration sim.Duration
+	// Setpoint profiles the target speed over time.
+	Setpoint func(t sim.Time) float64
+	// Fault injects a fault at FaultAt.
+	Fault   FaultKind
+	FaultAt sim.Time
+	// SettleBand is the ±band around the setpoint counted as settled.
+	SettleBand float64
+}
+
+// CruiseStep returns a standard 0→25 m/s step scenario.
+func CruiseStep() Scenario {
+	return Scenario{
+		Name:       "cruise-step-25",
+		Duration:   60 * sim.Second,
+		Setpoint:   func(sim.Time) float64 { return 25 },
+		SettleBand: 0.5,
+	}
+}
+
+// Result aggregates one run's verdict.
+type Result struct {
+	Level    Level
+	Scenario string
+	// Settled and SettlingTime report whether/when the output entered
+	// and stayed in the settle band.
+	Settled      bool
+	SettlingTime sim.Duration
+	Overshoot    float64
+	SteadyErr    float64
+	// FaultDetected and DetectionLatency report the residual monitor's
+	// verdict on injected faults.
+	FaultDetected    bool
+	DetectionLatency sim.Duration
+	// Events is the simulation-event cost of the run — the "speed"
+	// axis of E13 (fewer events per simulated second = faster testing).
+	Events uint64
+}
+
+// Config tunes the harness.
+type Config struct {
+	// ControlPeriod is the controller step (and DA period at SiL/HiL).
+	ControlPeriod sim.Duration
+	// ResidualThreshold flags a fault when |setpoint−measurement| stays
+	// above it after the settling phase.
+	ResidualThreshold float64
+}
+
+// DefaultConfig returns the standard 10 ms loop.
+func DefaultConfig() Config {
+	return Config{ControlPeriod: 10 * sim.Millisecond, ResidualThreshold: 3}
+}
+
+// Run executes a scenario at the given level and returns its result.
+func Run(level Level, plant Plant, pid *PID, sc Scenario, cfg Config) (Result, error) {
+	if sc.Duration <= 0 || cfg.ControlPeriod <= 0 {
+		return Result{}, fmt.Errorf("xil: invalid scenario/config")
+	}
+	k := sim.NewKernel(1)
+	res := Result{Level: level, Scenario: sc.Name}
+	dt := cfg.ControlPeriod
+
+	// Shared measurement state, possibly faulted.
+	stuck := false
+	stuckVal := 0.0
+	actuatorDead := false
+	if sc.Fault != FaultNone {
+		k.At(sc.FaultAt, func() {
+			switch sc.Fault {
+			case FaultSensorStuck:
+				stuck = true
+				stuckVal = plant.Output()
+			case FaultActuatorLoss:
+				actuatorDead = true
+			}
+		})
+	}
+	measure := func() float64 {
+		if stuck {
+			return stuckVal
+		}
+		return plant.Output()
+	}
+
+	var settledAt sim.Time = -1
+	peak := 0.0
+	var lastMeas float64
+	faultDetectedAt := sim.Time(-1)
+	inBandSince := sim.Time(-1)
+
+	evaluate := func(meas float64) {
+		t := k.Now()
+		sp := sc.Setpoint(t)
+		lastMeas = meas
+		if meas > peak {
+			peak = meas
+		}
+		if math.Abs(sp-meas) <= sc.SettleBand {
+			if inBandSince < 0 {
+				inBandSince = t
+			}
+			if settledAt < 0 && t.Sub(inBandSince) >= 2*sim.Second {
+				settledAt = inBandSince
+			}
+		} else {
+			inBandSince = -1
+			// Residual monitor: large error long after start.
+			if t > sim.Time(20*sim.Second) && math.Abs(sp-meas) > cfg.ResidualThreshold &&
+				faultDetectedAt < 0 {
+				faultDetectedAt = t
+			}
+		}
+	}
+
+	apply := func(u float64) float64 {
+		if actuatorDead {
+			return 0
+		}
+		return u
+	}
+
+	switch level {
+	case MiL:
+		k.Every(0, dt, func() {
+			meas := measure()
+			u := pid.Step(sc.Setpoint(k.Now()), meas, dt)
+			plant.Step(apply(u), dt)
+			evaluate(measure())
+		})
+	case SiL, HiL:
+		// The controller runs as a deterministic app on a platform node.
+		node := platform.NewNode(k, model.ECU{Name: "ecu", CPUMHz: 100,
+			MemoryKB: 1024, HasMMU: true, OS: model.OSRTOS},
+			platform.ModeIsolated, dt/10)
+		var bus *can.Bus
+		sensorDelay := func(fn func(float64)) { fn(measure()) }
+		actuate := func(u float64) {
+			plant.Step(apply(u), dt)
+			evaluate(measure())
+		}
+		if level == HiL {
+			bus = can.New(k, can.Config{Name: "hil", BitsPerSecond: 500_000})
+			bus.Attach("sensor", func(network.Delivery) {})
+			bus.Attach("ecu", func(network.Delivery) {})
+			bus.Attach("act", func(network.Delivery) {})
+			sensorDelay = func(fn func(float64)) {
+				v := measure()
+				bus.Attach("ecu", func(d network.Delivery) {
+					if f, ok := d.Msg.Payload.(float64); ok {
+						fn(f)
+					}
+				})
+				bus.Send(network.Message{ID: 0x10, Src: "sensor", Dst: "ecu",
+					Bytes: 8, Payload: v})
+			}
+			actuate = func(u float64) {
+				bus.Attach("act", func(d network.Delivery) {
+					if f, ok := d.Msg.Payload.(float64); ok {
+						plant.Step(apply(f), dt)
+						evaluate(measure())
+					}
+				})
+				bus.Send(network.Message{ID: 0x20, Src: "ecu", Dst: "act",
+					Bytes: 8, Payload: u})
+			}
+		}
+		app := model.App{Name: "cruise", Kind: model.Deterministic,
+			ASIL: model.ASILC, Period: dt, WCET: dt / 20, Deadline: dt, MemoryKB: 64}
+		inst, err := node.Install(app, platform.Behavior{
+			OnActivate: func(int64) {
+				sensorDelay(func(meas float64) {
+					u := pid.Step(sc.Setpoint(k.Now()), meas, dt)
+					actuate(u)
+				})
+			},
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if err := inst.Start(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	k.RunUntil(sim.Time(sc.Duration))
+	res.Events = k.EventCount
+	sp := sc.Setpoint(k.Now())
+	res.SteadyErr = math.Abs(sp - lastMeas)
+	if settledAt >= 0 {
+		res.Settled = true
+		res.SettlingTime = settledAt.Sub(0)
+	}
+	if sp > 0 {
+		res.Overshoot = (peak - sp) / sp
+		if res.Overshoot < 0 {
+			res.Overshoot = 0
+		}
+	}
+	if faultDetectedAt >= 0 {
+		res.FaultDetected = true
+		if faultDetectedAt > sc.FaultAt {
+			res.DetectionLatency = faultDetectedAt.Sub(sc.FaultAt)
+		}
+	}
+	return res, nil
+}

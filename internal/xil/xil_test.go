@@ -1,0 +1,144 @@
+package xil
+
+import (
+	"testing"
+
+	"dynaplat/internal/sim"
+)
+
+func TestVehiclePhysics(t *testing.T) {
+	v := NewVehicle()
+	// Full thrust accelerates.
+	for i := 0; i < 100; i++ {
+		v.Step(6000, 10*sim.Millisecond)
+	}
+	if v.V <= 0 {
+		t.Fatalf("no acceleration: v = %v", v.V)
+	}
+	// Coasting decelerates but never reverses.
+	for i := 0; i < 100000; i++ {
+		v.Step(0, 10*sim.Millisecond)
+	}
+	if v.V != 0 {
+		t.Errorf("coast-down should reach 0, got %v", v.V)
+	}
+}
+
+func TestPIDClamps(t *testing.T) {
+	p := NewCruisePID()
+	u := p.Step(1000, 0, 10*sim.Millisecond)
+	if u != p.OutMax {
+		t.Errorf("u = %v, want clamp at %v", u, p.OutMax)
+	}
+	p2 := NewCruisePID()
+	u2 := p2.Step(-1000, 0, 10*sim.Millisecond)
+	if u2 != p2.OutMin {
+		t.Errorf("u = %v, want clamp at %v", u2, p2.OutMin)
+	}
+}
+
+func TestMiLCruiseSettles(t *testing.T) {
+	res, err := Run(MiL, NewVehicle(), NewCruisePID(), CruiseStep(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Settled {
+		t.Fatalf("cruise did not settle: %+v", res)
+	}
+	if res.SettlingTime <= 0 || res.SettlingTime > 40*sim.Second {
+		t.Errorf("settling time = %v", res.SettlingTime)
+	}
+	if res.SteadyErr > 0.5 {
+		t.Errorf("steady error = %v", res.SteadyErr)
+	}
+	if res.FaultDetected {
+		t.Error("false positive fault detection")
+	}
+}
+
+func TestAllLevelsSettleNominal(t *testing.T) {
+	for _, level := range []Level{MiL, SiL, HiL} {
+		res, err := Run(level, NewVehicle(), NewCruisePID(), CruiseStep(), DefaultConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		if !res.Settled {
+			t.Errorf("%v: did not settle (steady err %v)", level, res.SteadyErr)
+		}
+	}
+}
+
+func TestEventCostOrdering(t *testing.T) {
+	// E13's speed axis: MiL must be cheapest, HiL most expensive.
+	cost := map[Level]uint64{}
+	for _, level := range []Level{MiL, SiL, HiL} {
+		res, err := Run(level, NewVehicle(), NewCruisePID(), CruiseStep(), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost[level] = res.Events
+	}
+	if !(cost[MiL] < cost[SiL] && cost[SiL] < cost[HiL]) {
+		t.Errorf("event cost ordering violated: MiL=%d SiL=%d HiL=%d",
+			cost[MiL], cost[SiL], cost[HiL])
+	}
+}
+
+func TestSensorStuckDetected(t *testing.T) {
+	sc := CruiseStep()
+	sc.Fault = FaultSensorStuck
+	sc.FaultAt = sim.Time(5 * sim.Second) // during acceleration
+	res, err := Run(MiL, NewVehicle(), NewCruisePID(), sc, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FaultDetected {
+		t.Fatalf("stuck sensor not detected: %+v", res)
+	}
+	if res.DetectionLatency <= 0 {
+		t.Errorf("detection latency = %v", res.DetectionLatency)
+	}
+}
+
+func TestActuatorLossDetected(t *testing.T) {
+	sc := CruiseStep()
+	sc.Fault = FaultActuatorLoss
+	sc.FaultAt = sim.Time(30 * sim.Second) // after settling
+	res, err := Run(MiL, NewVehicle(), NewCruisePID(), sc, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FaultDetected {
+		t.Fatalf("actuator loss not detected: %+v", res)
+	}
+}
+
+func TestFaultDetectedAtEveryLevel(t *testing.T) {
+	// The shift-left claim only helps if earlier levels catch the same
+	// faults the expensive level does.
+	sc := CruiseStep()
+	sc.Fault = FaultSensorStuck
+	sc.FaultAt = sim.Time(5 * sim.Second)
+	for _, level := range []Level{MiL, SiL, HiL} {
+		res, err := Run(level, NewVehicle(), NewCruisePID(), sc, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.FaultDetected {
+			t.Errorf("%v: fault not detected", level)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sc := CruiseStep()
+	sc.Duration = 0
+	if _, err := Run(MiL, NewVehicle(), NewCruisePID(), sc, DefaultConfig()); err == nil {
+		t.Error("zero-duration scenario accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.ControlPeriod = 0
+	if _, err := Run(MiL, NewVehicle(), NewCruisePID(), CruiseStep(), cfg); err == nil {
+		t.Error("zero control period accepted")
+	}
+}

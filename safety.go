@@ -1,0 +1,67 @@
+package dynaplat
+
+import (
+	"dynaplat/internal/model"
+	"dynaplat/internal/safety/monitor"
+	"dynaplat/internal/safety/redundancy"
+	"dynaplat/internal/safety/update"
+	"dynaplat/internal/security/auth"
+	secpkg "dynaplat/internal/security/pkg"
+)
+
+// Safety and security facade: the update orchestrator (paper §3.2),
+// fail-operational redundancy (§3.3), runtime monitoring (§3.4), package
+// security (§4.1) and binding authorization (§4.2).
+
+type (
+	// App is an application descriptor in the system model.
+	App = model.App
+	// UpdateManager orchestrates staged and stop-restart updates.
+	UpdateManager = update.Manager
+	// UpdateReport summarizes a completed update.
+	UpdateReport = update.Report
+	// UpdateOffers lists interfaces the new version re-offers.
+	UpdateOffers = update.Offers
+	// RedundancyManager replicates applications across ECUs.
+	RedundancyManager = redundancy.Manager
+	// RedundancyGroup is one replicated application.
+	RedundancyGroup = redundancy.Group
+	// RedundancyConfig tunes heartbeats and promotion.
+	RedundancyConfig = redundancy.Config
+	// Monitor watches deterministic applications at runtime.
+	Monitor = monitor.Monitor
+	// MonitorConfig tunes the runtime monitor.
+	MonitorConfig = monitor.Config
+	// PackageAuthority signs software packages.
+	PackageAuthority = secpkg.Authority
+	// SignedPackage is a package plus its authority signature.
+	SignedPackage = secpkg.Signed
+	// TrustStore holds accepted authority keys.
+	TrustStore = secpkg.TrustStore
+	// AuthBroker issues binding tickets from the access matrix.
+	AuthBroker = auth.Broker
+)
+
+// NewUpdateManager creates an update orchestrator for a simulation.
+func NewUpdateManager(s *Simulation) *UpdateManager {
+	return update.NewManager(s.Platform, s.Middleware, update.DefaultConfig())
+}
+
+// NewRedundancyManager creates a redundancy manager for a simulation.
+func NewRedundancyManager(s *Simulation) *RedundancyManager {
+	return redundancy.NewManager(s.Platform)
+}
+
+// DefaultRedundancyConfig returns the standard heartbeat tuning.
+func DefaultRedundancyConfig() RedundancyConfig { return redundancy.DefaultConfig() }
+
+// NewMonitor attaches a runtime monitor to a node.
+func NewMonitor(n *Node) *Monitor { return monitor.New(n, monitor.DefaultConfig()) }
+
+// NewPackageAuthority creates a deterministic signing authority.
+func NewPackageAuthority(name string, seed [32]byte) *PackageAuthority {
+	return secpkg.NewAuthority(name, seed)
+}
+
+// NewTrustStore creates an empty trust store.
+func NewTrustStore() *TrustStore { return secpkg.NewTrustStore() }

@@ -1,0 +1,17 @@
+# Demo vehicle: consolidated central platform + zone ECU + head unit.
+system DemoVehicle
+ecu CPM  cpu=400MHz mem=8MB  mmu crypto os=rtos  cost=40
+ecu Zone cpu=200MHz mem=1MB  mmu        os=rtos  cost=12
+ecu Head cpu=1GHz   mem=64MB mmu        os=posix cost=25
+network Backbone type=ethernet rate=100Mbps attach=CPM,Zone,Head
+network Body     type=can      rate=500kbps attach=CPM,Zone
+
+app Brake      kind=da  asil=D period=10ms wcet=2ms deadline=10ms jitter=1ms mem=64KB on=CPM
+app Suspension kind=da  asil=C period=5ms  wcet=1ms mem=64KB on=Zone
+app Wiper      kind=da  asil=B period=50ms wcet=5ms mem=32KB on=Zone
+app Media      kind=nda asil=QM mem=8MB on=Head
+
+iface BrakeStatus owner=Brake paradigm=event payload=16B period=10ms latency=8ms net=Backbone
+iface WiperCtl    owner=Wiper paradigm=message payload=8B period=100ms net=Body
+bind Media -> BrakeStatus
+bind Suspension -> BrakeStatus
