@@ -11,6 +11,7 @@ package dynaplat
 // Use cmd/exprun to print the tables themselves.
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"dynaplat/internal/experiments"
@@ -65,4 +66,24 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 		}
 		s.Run(1 * Second)
 	}
+}
+
+// BenchmarkEndToEndSimulationParallel is the RunParallel variant: one
+// independent simulation (own kernel, own seed) per goroutine iteration.
+// On multicore hardware aggregate throughput scales with GOMAXPROCS;
+// each individual simulation remains bit-deterministic for its seed.
+func BenchmarkEndToEndSimulationParallel(b *testing.B) {
+	var seed atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s, err := FromDSL(demoDSL, Options{Seed: seed.Add(1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.StartAll(); err != nil {
+				b.Fatal(err)
+			}
+			s.Run(1 * Second)
+		}
+	})
 }

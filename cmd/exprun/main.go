@@ -1,9 +1,16 @@
 // Command exprun regenerates the experiment tables of EXPERIMENTS.md.
 //
-//	exprun            # run every experiment
-//	exprun E4 E7      # run a subset
-//	exprun -list      # list experiment IDs
-//	exprun -json      # machine-readable output (one JSON object per line)
+//	exprun                # run every experiment (parallel across cores)
+//	exprun E4 E7          # run a subset
+//	exprun -list          # list experiment IDs
+//	exprun -json          # machine-readable output (one JSON object per line)
+//	exprun -parallel=false  # force the serial harness
+//	exprun -workers 4     # cap the worker pool
+//
+// Experiments fan out across GOMAXPROCS workers by default; every
+// experiment owns an independent simulation kernel, so parallel output
+// is byte-identical to the serial run (tables are always emitted in
+// canonical E1..E20 order).
 //
 // Exit status is non-zero when any experiment's paper-derived
 // expectation is violated.
@@ -14,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dynaplat/internal/experiments"
 )
@@ -21,6 +29,8 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	asJSON := flag.Bool("json", false, "emit JSON lines instead of tables")
+	parallel := flag.Bool("parallel", true, "fan experiments out across a worker pool")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; implies -parallel)")
 	flag.Parse()
 
 	if *list {
@@ -34,14 +44,22 @@ func main() {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
+	n := 1
+	if *parallel || *workers > 0 {
+		n = *workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+	}
+	tables, err := experiments.RunTables(ids, n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exprun:", err)
+		os.Exit(2)
+	}
+
 	violations := 0
 	enc := json.NewEncoder(os.Stdout)
-	for _, id := range ids {
-		t, err := experiments.Run(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "exprun:", err)
-			os.Exit(2)
-		}
+	for _, t := range tables {
 		if *asJSON {
 			if err := enc.Encode(t); err != nil {
 				fmt.Fprintln(os.Stderr, "exprun:", err)

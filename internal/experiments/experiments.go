@@ -11,8 +11,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Table is one experiment's result.
@@ -137,13 +140,68 @@ func Run(id string) (*Table, error) {
 	return r(), nil
 }
 
-// RunAll executes every experiment in order, rendering to w.
-func RunAll(w io.Writer) []*Table {
-	var out []*Table
-	for _, id := range IDs() {
-		t := registry[id]()
+// RunTables executes the given experiments and returns their tables in
+// the same order as ids. workers > 1 fans the runs out across a worker
+// pool; each experiment builds its own seeded kernel, so the resulting
+// tables are bit-identical to a serial run regardless of worker count or
+// goroutine interleaving. workers <= 0 means GOMAXPROCS.
+func RunTables(ids []string, workers int) ([]*Table, error) {
+	runners := make([]Runner, len(ids))
+	for i, id := range ids {
+		r, ok := registry[id]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+		}
+		runners[i] = r
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runners) {
+		workers = len(runners)
+	}
+	out := make([]*Table, len(runners))
+	if workers <= 1 {
+		for i, r := range runners {
+			out[i] = r()
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(runners) {
+					return
+				}
+				out[i] = runners[i]()
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// RunAll executes every experiment serially in order, rendering to w.
+func RunAll(w io.Writer) []*Table { return renderAll(w, 1) }
+
+// RunAllParallel executes every experiment across a worker pool (one
+// independent kernel per experiment) and renders the tables to w in
+// canonical E1..E20 order. Output is byte-identical to RunAll.
+func RunAllParallel(w io.Writer, workers int) []*Table { return renderAll(w, workers) }
+
+func renderAll(w io.Writer, workers int) []*Table {
+	out, err := RunTables(IDs(), workers)
+	if err != nil {
+		panic(err) // unreachable: IDs() only yields registered ids
+	}
+	for _, t := range out {
 		t.Render(w)
-		out = append(out, t)
 	}
 	return out
 }

@@ -96,32 +96,61 @@ func MustParse(s string) *System {
 	return sys
 }
 
+// attrs holds the parsed key=value and bare-flag attributes of one DSL
+// line. Maps are allocated lazily and consumed keys are tracked in a
+// small slice (attribute counts per line are tiny), which keeps the
+// parser — a measurable share of end-to-end simulation setup — from
+// allocating three maps per line.
 type attrs struct {
 	kv    map[string]string
 	flags map[string]bool
-	used  map[string]bool
+	used  []string
 }
 
 func parseAttrs(fields []string) *attrs {
-	a := &attrs{kv: map[string]string{}, flags: map[string]bool{}, used: map[string]bool{}}
+	a := &attrs{}
 	for _, f := range fields {
 		if k, v, ok := strings.Cut(f, "="); ok {
+			if a.kv == nil {
+				a.kv = make(map[string]string, len(fields))
+			}
 			a.kv[strings.ToLower(k)] = v
 		} else {
+			if a.flags == nil {
+				a.flags = make(map[string]bool, len(fields))
+			}
 			a.flags[strings.ToLower(f)] = true
 		}
 	}
 	return a
 }
 
+func (a *attrs) markUsed(key string) {
+	for _, u := range a.used {
+		if u == key {
+			return
+		}
+	}
+	a.used = append(a.used, key)
+}
+
+func (a *attrs) wasUsed(key string) bool {
+	for _, u := range a.used {
+		if u == key {
+			return true
+		}
+	}
+	return false
+}
+
 func (a *attrs) str(key string) (string, bool) {
-	a.used[key] = true
+	a.markUsed(key)
 	v, ok := a.kv[key]
 	return v, ok
 }
 
 func (a *attrs) flag(key string) bool {
-	a.used[key] = true
+	a.markUsed(key)
 	return a.flags[key]
 }
 
@@ -129,12 +158,12 @@ func (a *attrs) flag(key string) bool {
 // like "perod=10ms".
 func (a *attrs) unknown() string {
 	for k := range a.kv {
-		if !a.used[k] {
+		if !a.wasUsed(k) {
 			return k
 		}
 	}
 	for k := range a.flags {
-		if !a.used[k] {
+		if !a.wasUsed(k) {
 			return k
 		}
 	}

@@ -352,7 +352,9 @@ func (s *System) Interface(name string) *Interface {
 
 // AppsOn returns the applications placed on the named ECU.
 func (s *System) AppsOn(ecu string) []*App {
-	var out []*App
+	// Single exact-size allocation: this runs per ECU in validation,
+	// DSE inner loops and platform construction.
+	out := make([]*App, 0, len(s.Apps))
 	for _, a := range s.Apps {
 		if s.Placement[a.Name] == ecu {
 			out = append(out, a)

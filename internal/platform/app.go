@@ -35,6 +35,10 @@ type AppInstance struct {
 	StartLag   sim.Sample
 	nextJob    int64
 	releaseRef sim.EventRef
+	// releaseFn is the cached periodic-release closure: re-arming a
+	// period through it costs zero allocations (it reads nextJob instead
+	// of capturing the job index).
+	releaseFn func()
 
 	// Non-deterministic-app statistics.
 	JobsDone   int64
@@ -80,6 +84,9 @@ func (a *AppInstance) scheduleNextRelease() {
 	if a.State != StateRunning {
 		return
 	}
+	if a.releaseFn == nil {
+		a.releaseFn = func() { a.release(a.nextJob) }
+	}
 	period := a.Spec.Period
 	now := a.node.k.Now()
 	// Next release at or after now, aligned to epoch + j*period.
@@ -89,9 +96,8 @@ func (a *AppInstance) scheduleNextRelease() {
 		j = int64((now.Sub(base) + sim.Duration(period) - 1) / sim.Duration(period))
 	}
 	release := base.Add(sim.Duration(j) * period)
-	a.releaseRef = a.node.k.AtPriority(release, sim.PriorityClock, func() {
-		a.release(j)
-	})
+	a.nextJob = j
+	a.releaseRef = a.node.k.AtPriority(release, sim.PriorityClock, a.releaseFn)
 }
 
 // release runs one deterministic job: the node's CPU model decides when
@@ -105,8 +111,9 @@ func (a *AppInstance) release(job int64) {
 	a.CPUTime += exec
 	deadline := release.Add(a.Spec.Deadline)
 	a.node.runDA(a, job, exec, release, deadline)
-	// Arm the next period.
-	a.releaseRef = a.node.k.After(a.Spec.Period, func() { a.release(job + 1) })
+	// Arm the next period through the cached closure (no allocation).
+	a.nextJob = job + 1
+	a.releaseRef = a.node.k.After(a.Spec.Period, a.releaseFn)
 }
 
 func (a *AppInstance) execTime() sim.Duration {

@@ -18,6 +18,43 @@ import (
 // ModeShared is the baseline: one non-preemptive queue where DA releases
 // have priority but can be blocked behind an already-running NDA job.
 
+// pendingCompletion is a pooled record for one in-flight deterministic
+// activation. fire is built once per record and reads the fields at
+// event time, so re-dispatching through the pool allocates nothing.
+type pendingCompletion struct {
+	a        *AppInstance
+	job      int64
+	release  sim.Time
+	started  sim.Time
+	finished sim.Time
+	deadline sim.Time
+	fire     sim.Handler
+}
+
+// scheduleCompletion arms a pooled completion record at finished.
+func (n *Node) scheduleCompletion(a *AppInstance, job int64, release, started, finished, deadline sim.Time) {
+	var c *pendingCompletion
+	if m := len(n.compPool); m > 0 {
+		c = n.compPool[m-1]
+		n.compPool[m-1] = nil
+		n.compPool = n.compPool[:m-1]
+	} else {
+		c = &pendingCompletion{}
+		c.fire = func() {
+			// Copy out, recycle, then complete — complete may dispatch
+			// further jobs that reuse this record.
+			a, job := c.a, c.job
+			release, started, finished, deadline := c.release, c.started, c.finished, c.deadline
+			c.a = nil
+			n.compPool = append(n.compPool, c)
+			a.complete(job, release, started, finished, deadline)
+		}
+	}
+	c.a, c.job = a, job
+	c.release, c.started, c.finished, c.deadline = release, started, finished, deadline
+	n.k.At(finished, c.fire)
+}
+
 // runDA dispatches one deterministic activation.
 func (n *Node) runDA(a *AppInstance, job int64, exec sim.Duration, release, deadline sim.Time) {
 	switch n.mode {
@@ -53,7 +90,8 @@ func (n *Node) runDAIsolated(a *AppInstance, job int64, exec sim.Duration, relea
 	if tbl == nil {
 		// No deterministic task admitted — cannot happen for installed
 		// DAs, but guard anyway.
-		n.k.After(exec, func() { a.complete(job, release, n.k.Now(), n.k.Now(), deadline) })
+		at := n.k.Now().Add(exec)
+		n.scheduleCompletion(a, job, release, at, at, deadline)
 		return
 	}
 	h := tbl.Hyperperiod
@@ -86,29 +124,37 @@ func (n *Node) runDAIsolated(a *AppInstance, job int64, exec sim.Duration, relea
 		started = release
 		finished = release.Add(exec)
 	}
-	n.k.At(finished, func() { a.complete(job, release, started, finished, deadline) })
+	n.scheduleCompletion(a, job, release, started, finished, deadline)
 }
 
+// gap is one idle interval of the schedule table.
+type gap struct{ start, end sim.Duration }
+
 // freeIntervals returns the idle gaps of the current table within one
-// hyperperiod.
-func (n *Node) freeIntervals() []struct{ start, end sim.Duration } {
+// hyperperiod, memoized per table (tables are immutable once installed,
+// and schedule changes install a new *sched.Table).
+func (n *Node) freeIntervals() []gap {
 	tbl := n.mgr.Table()
-	var out []struct{ start, end sim.Duration }
 	if tbl == nil {
-		return out
+		return nil
 	}
+	if tbl == n.gapsFor {
+		return n.gapsCache
+	}
+	var out []gap
 	cursor := sim.Duration(0)
 	for _, s := range tbl.Slots {
 		if s.Start > cursor {
-			out = append(out, struct{ start, end sim.Duration }{cursor, s.Start})
+			out = append(out, gap{cursor, s.Start})
 		}
 		if s.End > cursor {
 			cursor = s.End
 		}
 	}
 	if cursor < tbl.Hyperperiod {
-		out = append(out, struct{ start, end sim.Duration }{cursor, tbl.Hyperperiod})
+		out = append(out, gap{cursor, tbl.Hyperperiod})
 	}
+	n.gapsFor, n.gapsCache = tbl, out
 	return out
 }
 

@@ -81,6 +81,13 @@ type Node struct {
 	sharedQ         []*queuedJob
 	seq             uint64
 
+	// compPool recycles pending-completion records so that dispatching a
+	// deterministic job allocates nothing in steady state.
+	compPool []*pendingCompletion
+	// gapsFor/gapsCache memoize freeIntervals for the current table.
+	gapsFor   *sched.Table
+	gapsCache []gap
+
 	// Hooks for the runtime monitor (Section 3.4).
 	onComplete []func(Completion)
 

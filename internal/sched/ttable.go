@@ -30,6 +30,10 @@ type Table struct {
 	// SynthesisOps counts elementary synthesis operations; the backend-
 	// versus-ECU experiment (E3) converts it to CPU time at a clock rate.
 	SynthesisOps int64
+
+	// byTask is a lazily built per-task slot index serving SlotsFor on
+	// the platform dispatch hot path; normalize invalidates it.
+	byTask map[string][]Slot
 }
 
 // DefaultGranularity is the slot quantum used when none is specified
@@ -179,6 +183,7 @@ func (t *Table) normalize() {
 		merged = append(merged, s)
 	}
 	t.Slots = merged
+	t.byTask = nil // invalidate the SlotsFor index
 }
 
 // TaskAt returns the task scheduled at hyperperiod-relative offset off,
@@ -192,15 +197,20 @@ func (t *Table) TaskAt(off sim.Duration) string {
 	return ""
 }
 
-// SlotsFor returns the slots belonging to the named task.
+// SlotsFor returns the slots belonging to the named task. The result is
+// served from a lazily built per-task index (the platform dispatcher
+// calls this once per job release, which made the previous full-scan-
+// plus-allocate version a measurable hot spot); callers must not mutate
+// the returned slice.
 func (t *Table) SlotsFor(task string) []Slot {
-	var out []Slot
-	for _, s := range t.Slots {
-		if s.Task == task {
-			out = append(out, s)
+	if t.byTask == nil {
+		idx := make(map[string][]Slot, 8)
+		for _, s := range t.Slots {
+			idx[s.Task] = append(idx[s.Task], s)
 		}
+		t.byTask = idx
 	}
-	return out
+	return t.byTask[task]
 }
 
 // Utilization returns the fraction of the hyperperiod that is scheduled.

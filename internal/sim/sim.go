@@ -6,12 +6,15 @@
 // never perturb virtual-time ordering. Event ordering is a total order over
 // (time, priority, sequence), so two runs with the same seed and the same
 // event program are bit-identical.
+//
+// The kernel's dispatch loop is the hot path of the whole repository
+// (every bus simulator, scheduler and SOA paradigm runs on it), so the
+// event queue is a hand-specialized 4-ary heap with a free-list event
+// pool and lazy removal of canceled events; see heap.go for the
+// internals and DESIGN.md §"simulation substrate" for the rationale.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
 type Time int64
@@ -71,76 +74,73 @@ const (
 // Handler is the callback invoked when an event fires.
 type Handler func()
 
+// event is one scheduled handler. Events are pooled: after firing or
+// cancellation the slot is recycled, and gen is bumped so stale
+// EventRefs can be detected.
 type event struct {
 	at       Time
 	prio     Priority
 	seq      uint64
+	gen      uint64
 	fn       Handler
+	k        *Kernel
+	index    int32 // heap index, -1 when not queued
 	canceled bool
-	index    int // heap index, -1 when popped
 }
 
-// EventRef identifies a scheduled event and allows cancellation.
-type EventRef struct{ ev *event }
+// EventRef identifies a scheduled event and allows cancellation. The
+// zero EventRef is valid and refers to no event. Refs are generation-
+// checked: once the underlying slot fires, is canceled, or is recycled
+// for a new event, old refs become inert.
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op. Cancel reports whether the event was
-// still pending.
+// Cancel prevents the event from firing. Canceling an already-fired,
+// already-canceled, or recycled event is a no-op. Cancel reports whether
+// the event was still pending.
 func (r EventRef) Cancel() bool {
-	if r.ev == nil || r.ev.canceled || r.ev.index < 0 {
+	ev := r.ev
+	if ev == nil || ev.gen != r.gen || ev.canceled || ev.index < 0 {
 		return false
 	}
-	r.ev.canceled = true
+	ev.canceled = true
+	k := ev.k
+	k.dead++
+	k.statCanceled++
+	k.maybeCompact()
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been canceled.
 func (r EventRef) Pending() bool {
-	return r.ev != nil && !r.ev.canceled && r.ev.index >= 0
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return r.ev != nil && r.ev.gen == r.gen && !r.ev.canceled && r.ev.index >= 0
 }
 
 // Kernel is a discrete-event simulation executive.
 // The zero value is not usable; create kernels with NewKernel.
+//
+// A Kernel is single-threaded: it may be driven from one goroutine at a
+// time. Run many kernels in parallel (one per goroutine) for fan-out
+// workloads such as the experiment harness.
 type Kernel struct {
 	now     Time
-	queue   eventHeap
+	queue   []*event // 4-ary heap ordered by (at, prio, seq)
+	free    []*event // recycled event slots
+	dead    int      // canceled events still in queue
 	seq     uint64
 	running bool
 	stopped bool
+	firing  *event // event currently being dispatched, if any
+	rearmed bool   // firing event was re-pushed by rearmFiring
 	rng     *RNG
 	tracer  *Tracer
+
+	statCanceled    uint64
+	statReused      uint64
+	statCompactions uint64
+	statPeak        int
 
 	// EventCount is the total number of events executed so far.
 	EventCount uint64
@@ -185,10 +185,14 @@ func (k *Kernel) AtPriority(at Time, prio Priority, fn Handler) EventRef {
 	if fn == nil {
 		panic("sim: nil event handler")
 	}
-	ev := &event{at: at, prio: prio, seq: k.seq, fn: fn}
+	ev := k.alloc()
+	ev.at = at
+	ev.prio = prio
+	ev.seq = k.seq
+	ev.fn = fn
 	k.seq++
-	heap.Push(&k.queue, ev)
-	return EventRef{ev}
+	k.push(ev)
+	return EventRef{ev, ev.gen}
 }
 
 // After schedules fn to run d after the current time.
@@ -232,7 +236,14 @@ func (t *Ticker) tick() {
 	if t.stopped {
 		return
 	}
-	t.ref = t.k.After(t.period, t.tick)
+	// Fast path: re-arm by pushing the just-fired event object back into
+	// the queue (fresh seq and generation, same handler) — no pool
+	// round-trip, no allocation.
+	if ref, ok := t.k.rearmFiring(t.period); ok {
+		t.ref = ref
+	} else {
+		t.ref = t.k.After(t.period, t.tick)
+	}
 	t.fn()
 }
 
@@ -242,23 +253,63 @@ func (t *Ticker) Stop() {
 	t.ref.Cancel()
 }
 
-// Stop halts the run loop after the current event completes.
-func (k *Kernel) Stop() { k.stopped = true }
-
-// Step executes the single next event, advancing virtual time to it.
-// It reports whether an event was executed.
-func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		ev := heap.Pop(&k.queue).(*event)
-		if ev.canceled {
-			continue
-		}
-		k.now = ev.at
-		k.EventCount++
-		ev.fn()
-		return true
+// rearmFiring reschedules the event currently being dispatched d after
+// now, reusing its slot. It reports false when no event is firing or the
+// slot was already re-armed.
+func (k *Kernel) rearmFiring(d Duration) (EventRef, bool) {
+	h := k.firing
+	if h == nil || k.rearmed {
+		return EventRef{}, false
 	}
-	return false
+	h.at = k.now.Add(d)
+	h.seq = k.seq
+	k.seq++
+	k.rearmed = true
+	k.push(h)
+	return EventRef{h, h.gen}, true
+}
+
+// Stop halts the run loop after the current event completes. Stop is
+// only meaningful while the kernel is running (i.e. from inside an event
+// handler); calling it while the kernel is idle is a documented no-op,
+// so a stray pre-Run Stop cannot silently suppress a later Run.
+func (k *Kernel) Stop() {
+	if k.running {
+		k.stopped = true
+	}
+}
+
+// Step executes the single next live event, advancing virtual time to it.
+// Canceled events encountered at the queue head are dropped and recycled
+// without executing. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	h := k.peekLive()
+	if h == nil {
+		return false
+	}
+	k.fire(h)
+	return true
+}
+
+// fire pops h (the known queue head) and dispatches it.
+func (k *Kernel) fire(h *event) {
+	k.popHead()
+	k.now = h.at
+	k.EventCount++
+	// The slot leaves the queue: stale any refs now so that a
+	// cancel-after-fire (or a cancel of a later re-arm seen through an
+	// old ref) is inert.
+	h.gen++
+	prevFiring, prevRearmed := k.firing, k.rearmed
+	k.firing, k.rearmed = h, false
+	h.fn()
+	if !k.rearmed {
+		// Not re-armed by a ticker: recycle. gen was already bumped.
+		h.fn = nil
+		h.canceled = false
+		k.free = append(k.free, h)
+	}
+	k.firing, k.rearmed = prevFiring, prevRearmed
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -271,19 +322,17 @@ func (k *Kernel) Run() {
 }
 
 // RunUntil executes events with time ≤ end, then sets the clock to end.
-// Events scheduled after end remain queued.
+// Events scheduled after end remain queued. Canceled events at the head
+// of the queue are discarded and never act as a time barrier.
 func (k *Kernel) RunUntil(end Time) {
 	k.runGuard()
 	defer func() { k.running = false }()
 	for !k.stopped {
-		if len(k.queue) == 0 {
+		h := k.peekLive()
+		if h == nil || h.at > end {
 			break
 		}
-		// Peek without popping.
-		if k.queue[0].at > end {
-			break
-		}
-		k.Step()
+		k.fire(h)
 	}
 	k.stopped = false
 	if k.now < end {
@@ -301,6 +350,33 @@ func (k *Kernel) runGuard() {
 	k.running = true
 }
 
-// QueueLen returns the number of scheduled (including canceled-but-queued)
-// events. Intended for tests and diagnostics.
-func (k *Kernel) QueueLen() int { return len(k.queue) }
+// QueueLen returns the number of live (non-canceled) scheduled events.
+// Canceled events awaiting lazy removal are not counted. Intended for
+// tests and diagnostics.
+func (k *Kernel) QueueLen() int { return len(k.queue) - k.dead }
+
+// KernelStats is a snapshot of kernel counters for observability.
+type KernelStats struct {
+	Fired       uint64 // events executed
+	Canceled    uint64 // cancellations accepted
+	Reused      uint64 // schedules served from the event pool
+	PoolFree    int    // event slots currently parked in the pool
+	QueueLive   int    // live (non-canceled) events queued now
+	QueueDead   int    // canceled events awaiting lazy removal
+	PeakQueue   int    // high-water mark of live queued events
+	Compactions uint64 // bulk sweeps of canceled events
+}
+
+// Stats returns a snapshot of the kernel's internal counters.
+func (k *Kernel) Stats() KernelStats {
+	return KernelStats{
+		Fired:       k.EventCount,
+		Canceled:    k.statCanceled,
+		Reused:      k.statReused,
+		PoolFree:    len(k.free),
+		QueueLive:   len(k.queue) - k.dead,
+		QueueDead:   k.dead,
+		PeakQueue:   k.statPeak,
+		Compactions: k.statCompactions,
+	}
+}

@@ -97,6 +97,11 @@ type Sample struct {
 
 // Add records a sample.
 func (s *Sample) Add(x float64) {
+	if s.xs == nil {
+		// Skip the 1→2→4→… grow chain: hot-path samples (per-job
+		// response times) typically accumulate dozens of entries.
+		s.xs = make([]float64, 0, 64)
+	}
 	s.xs = append(s.xs, x)
 	s.sorted = false
 }

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench.sh — run the sim kernel micro-benchmarks and the E1–E20
+# experiment benchmarks (whose `holds` metric doubles as a reproduction
+# check), then write a machine-readable summary to BENCH_sim.json.
+#
+#   scripts/bench.sh            # full run
+#   BENCHTIME=2s scripts/bench.sh
+#
+# The JSON has two sections:
+#   kernel:      ns/op, B/op, allocs/op per micro-benchmark
+#   experiments: holds (1|0) and ns/op per experiment benchmark
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="BENCH_sim.json"
+
+kernel_raw=$(go test -run '^$' \
+  -bench 'BenchmarkScheduleFire|BenchmarkCancelHeavy|BenchmarkTickerHeavy|BenchmarkMixed|BenchmarkKernelScheduleRun' \
+  -benchmem -benchtime "$BENCHTIME" ./internal/sim/)
+
+exp_raw=$(go test -run '^$' -bench 'BenchmarkE[0-9]+' -benchtime 1x .)
+
+{
+  echo '{'
+  echo "  \"generated\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"go\": \"$(go version | awk '{print $3}')\","
+  echo '  "kernel": ['
+  echo "$kernel_raw" | awk '
+    /^Benchmark/ {
+      name=$1; sub(/-[0-9]+$/, "", name)
+      ns=""; bytes=""; allocs=""
+      for (i=2; i<=NF; i++) {
+        if ($i == "ns/op")     ns=$(i-1)
+        if ($i == "B/op")      bytes=$(i-1)
+        if ($i == "allocs/op") allocs=$(i-1)
+      }
+      line=sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                   name, ns==""?"null":ns, bytes==""?"null":bytes, allocs==""?"null":allocs)
+      lines[n++]=line
+    }
+    END { for (i=0; i<n; i++) printf "%s%s\n", lines[i], (i<n-1?",":"") }'
+  echo '  ],'
+  echo '  "experiments": ['
+  echo "$exp_raw" | awk '
+    /^Benchmark/ {
+      name=$1; sub(/-[0-9]+$/, "", name)
+      ns=""; holds=""
+      for (i=2; i<=NF; i++) {
+        if ($i == "ns/op") ns=$(i-1)
+        if ($i == "holds") holds=$(i-1)
+      }
+      line=sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"holds\": %s}",
+                   name, ns==""?"null":ns, holds==""?"null":holds)
+      lines[n++]=line
+    }
+    END { for (i=0; i<n; i++) printf "%s%s\n", lines[i], (i<n-1?",":"") }'
+  echo '  ]'
+  echo '}'
+} > "$OUT"
+
+violated=$(grep -c '"holds": 0' "$OUT" || true)
+echo "wrote $OUT"
+if [ "$violated" != "0" ]; then
+  echo "bench.sh: $violated experiment expectation(s) VIOLATED" >&2
+  exit 1
+fi

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# verify.sh — the tier-1 verification path.
+#
+# Extends the historic `go build ./... && go test ./...` gate with
+# `go vet` and the race detector; `go test -race ./...` exercises the
+# parallel experiment harness (internal/experiments fans E1–E20 across
+# GOMAXPROCS workers), so a data race between experiments fails CI here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify.sh: all green"
