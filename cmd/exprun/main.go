@@ -10,7 +10,7 @@
 // Experiments fan out across GOMAXPROCS workers by default; every
 // experiment owns an independent simulation kernel, so parallel output
 // is byte-identical to the serial run (tables are always emitted in
-// canonical E1..E20 order).
+// canonical E1..E21 order).
 //
 // Exit status is non-zero when any experiment's paper-derived
 // expectation is violated.

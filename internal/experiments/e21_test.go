@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFaultCampaignDeterministic: the whole E21 sweep — fault schedules,
+// frame-level loss/corruption draws, failovers, retry outcomes — must be
+// byte-identical run to run. This is the repository's strongest
+// reproducibility check: sixteen kernels, four fault campaigns and every
+// resilience mechanism at once, rendered twice and compared.
+func TestFaultCampaignDeterministic(t *testing.T) {
+	a, err := Run("E21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("E21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	a.Render(&ba)
+	b.Render(&bb)
+	if ba.String() != bb.String() {
+		t.Errorf("E21 not byte-identical across runs:\n--- first\n%s\n--- second\n%s",
+			ba.String(), bb.String())
+	}
+	if !a.Holds {
+		t.Error("E21 expectation violated")
+	}
+}

@@ -41,7 +41,7 @@ func compareSerialParallel(t *testing.T, ids []string, workers int) {
 // TestSerialParallelByteIdentical is the harness determinism property:
 // fanning experiments out across a worker pool must produce byte-
 // identical rendered tables to the serial run. One round covers the full
-// E1–E20 harness (including the expensive DSE/Pareto experiments); ten
+// E1–E21 harness (including the expensive DSE/Pareto experiments); ten
 // further rounds re-run the fast experiments with varying worker counts
 // so goroutine interleaving gets repeated chances to perturb something.
 // Under -race this also proves the experiments share no mutable state.
@@ -107,7 +107,7 @@ func TestRunTablesWorkerCounts(t *testing.T) {
 }
 
 // BenchmarkRunAllSerial / BenchmarkRunAllParallel measure the full
-// E1–E20 harness; on multicore hardware the parallel variant's wall
+// E1–E21 harness; on multicore hardware the parallel variant's wall
 // time approaches serial/GOMAXPROCS.
 func BenchmarkRunAllSerial(b *testing.B) {
 	for i := 0; i < b.N; i++ {

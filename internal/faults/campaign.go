@@ -1,0 +1,262 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"dynaplat/internal/sim"
+)
+
+// Weights sets the relative probability of each ECU fault kind drawn by
+// a campaign. Zero-valued weights exclude the kind; an all-zero Weights
+// defaults to crash-only.
+type Weights struct {
+	Crash, Hang, Slowdown, Reboot float64
+}
+
+func (w Weights) total() float64 { return w.Crash + w.Hang + w.Slowdown + w.Reboot }
+
+// DefaultWeights returns the canonical mix: mostly hard crashes, some
+// hangs and reboots, occasional thermal slow-downs.
+func DefaultWeights() Weights {
+	return Weights{Crash: 0.5, Hang: 0.2, Slowdown: 0.1, Reboot: 0.2}
+}
+
+// Spec configures a fault campaign.
+type Spec struct {
+	// Seed drives every random draw of the campaign (schedule times,
+	// target selection, fault kinds, repair durations).
+	Seed uint64
+	// Horizon bounds the activation schedule: no fault activates after
+	// it (repairs may complete later).
+	Horizon sim.Duration
+	// MTBF is the mean time between fault activations across the whole
+	// target fleet (exponential inter-arrival). <= 0 disables ECU faults.
+	MTBF sim.Duration
+	// RepairMean is the mean fault duration before repair (exponential).
+	// <= 0 makes faults permanent (except reboots).
+	RepairMean sim.Duration
+	// RebootDelay is the fixed outage of an ECUReboot fault.
+	RebootDelay sim.Duration
+	// Weights mixes the ECU fault kinds.
+	Weights Weights
+	// SlowdownFactor is the execution-time inflation of ECUSlowdown
+	// faults (default 4).
+	SlowdownFactor float64
+}
+
+// DefaultSpec returns a moderate campaign: one fault every 2 s of
+// virtual time over a 10 s horizon, repaired after 400 ms on average.
+func DefaultSpec(seed uint64) Spec {
+	return Spec{
+		Seed:           seed,
+		Horizon:        10 * sim.Second,
+		MTBF:           2 * sim.Second,
+		RepairMean:     400 * sim.Millisecond,
+		RebootDelay:    250 * sim.Millisecond,
+		Weights:        DefaultWeights(),
+		SlowdownFactor: 4,
+	}
+}
+
+// Injection is one planned fault activation.
+type Injection struct {
+	At       sim.Time
+	Kind     Kind
+	Target   string
+	RepairAt sim.Time // zero = permanent
+}
+
+// Campaign orchestrates a reproducible fault schedule over registered
+// targets and wrapped networks. Build it, register targets/networks,
+// then Start before running the kernel.
+type Campaign struct {
+	k       *sim.Kernel
+	spec    Spec
+	rng     *sim.RNG
+	names   []string
+	targets map[string]Target
+	nets    []*NetFaults
+	started bool
+
+	busy map[string]bool // target currently faulted
+
+	// Schedule is the materialized activation plan (valid after Start).
+	Schedule []Injection
+	// Log records applied activations and repairs in fire order.
+	Log []Record
+	// Skipped counts drawn activations discarded because their target
+	// was still faulted.
+	Skipped int
+}
+
+// NewCampaign creates a campaign on the kernel. The campaign's RNG is
+// derived from spec.Seed only — it does not consume kernel RNG draws, so
+// adding a campaign never shifts the random streams of other subsystems.
+func NewCampaign(k *sim.Kernel, spec Spec) *Campaign {
+	if spec.SlowdownFactor <= 1 {
+		spec.SlowdownFactor = 4
+	}
+	if spec.RebootDelay <= 0 {
+		spec.RebootDelay = 250 * sim.Millisecond
+	}
+	if spec.Weights.total() <= 0 {
+		spec.Weights = Weights{Crash: 1}
+	}
+	return &Campaign{
+		k:       k,
+		spec:    spec,
+		rng:     sim.NewRNG(spec.Seed),
+		targets: map[string]Target{},
+		busy:    map[string]bool{},
+	}
+}
+
+// AddTarget registers a faultable ECU under its name.
+func (c *Campaign) AddTarget(name string, t Target) {
+	if c.started {
+		panic("faults: AddTarget after Start")
+	}
+	if _, dup := c.targets[name]; dup {
+		panic(fmt.Sprintf("faults: duplicate target %q", name))
+	}
+	c.targets[name] = t
+	c.names = append(c.names, name)
+	sort.Strings(c.names)
+}
+
+// AddNetwork registers a wrapped network; ECU faults that silence a node
+// (crash, hang, reboot) partition the node's station on every registered
+// network for the fault's duration — a dead ECU leaves the wire.
+func (c *Campaign) AddNetwork(nf *NetFaults) {
+	if c.started {
+		panic("faults: AddNetwork after Start")
+	}
+	c.nets = append(c.nets, nf)
+}
+
+// Start materializes the activation schedule from the seed and arms a
+// kernel event per activation/repair. Calling Start twice panics.
+func (c *Campaign) Start() {
+	if c.started {
+		panic("faults: campaign started twice")
+	}
+	c.started = true
+	if c.spec.MTBF <= 0 || len(c.names) == 0 || c.spec.Horizon <= 0 {
+		return
+	}
+	// Draw the whole schedule up front: the RNG consumption order is a
+	// pure function of the spec, independent of anything the simulation
+	// does while running.
+	repairAt := map[string]sim.Time{}
+	t := c.k.Now()
+	for {
+		t = t.Add(sim.Duration(c.rng.Exponential(float64(c.spec.MTBF))))
+		if t.Sub(c.k.Now()) > c.spec.Horizon {
+			break
+		}
+		target := c.names[c.rng.Intn(len(c.names))]
+		kind := c.drawKind()
+		var until sim.Time
+		switch {
+		case kind == ECUReboot:
+			until = t.Add(c.spec.RebootDelay)
+		case c.spec.RepairMean > 0:
+			until = t.Add(sim.Duration(c.rng.Exponential(float64(c.spec.RepairMean))))
+		}
+		if busyUntil, ok := repairAt[target]; ok && (busyUntil == 0 || t < busyUntil) {
+			c.Skipped++ // target still faulted at this instant
+			continue
+		}
+		repairAt[target] = until
+		c.Schedule = append(c.Schedule, Injection{At: t, Kind: kind, Target: target, RepairAt: until})
+	}
+	for _, inj := range c.Schedule {
+		inj := inj
+		c.k.At(inj.At, func() { c.apply(inj) })
+	}
+}
+
+// drawKind picks an ECU fault kind by weight.
+func (c *Campaign) drawKind() Kind {
+	w := c.spec.Weights
+	x := c.rng.Float64() * w.total()
+	switch {
+	case x < w.Crash:
+		return ECUCrash
+	case x < w.Crash+w.Hang:
+		return ECUHang
+	case x < w.Crash+w.Hang+w.Slowdown:
+		return ECUSlowdown
+	default:
+		return ECUReboot
+	}
+}
+
+// apply fires one injection and arms its repair.
+func (c *Campaign) apply(inj Injection) {
+	tgt := c.targets[inj.Target]
+	c.busy[inj.Target] = true
+	detail := ""
+	var undo func()
+	switch inj.Kind {
+	case ECUCrash, ECUReboot:
+		stopped := tgt.Crash()
+		c.partition(inj.Target)
+		detail = fmt.Sprintf("stopped %d apps", len(stopped))
+		undo = func() {
+			c.heal(inj.Target)
+			tgt.Restore(stopped)
+		}
+	case ECUHang:
+		tgt.SetHung(true)
+		c.partition(inj.Target)
+		undo = func() {
+			c.heal(inj.Target)
+			tgt.SetHung(false)
+		}
+	case ECUSlowdown:
+		tgt.SetSlowdown(c.spec.SlowdownFactor)
+		detail = fmt.Sprintf("factor %.1f", c.spec.SlowdownFactor)
+		undo = func() { tgt.SetSlowdown(1) }
+	}
+	c.record(Record{At: c.k.Now(), Kind: inj.Kind, Phase: PhaseInject, Target: inj.Target, Detail: detail})
+	if inj.RepairAt > 0 && undo != nil {
+		c.k.At(inj.RepairAt, func() {
+			undo()
+			c.busy[inj.Target] = false
+			c.record(Record{At: c.k.Now(), Kind: inj.Kind, Phase: PhaseRepair, Target: inj.Target})
+		})
+	}
+}
+
+func (c *Campaign) partition(station string) {
+	for _, nf := range c.nets {
+		nf.Partition(station)
+	}
+}
+
+func (c *Campaign) heal(station string) {
+	for _, nf := range c.nets {
+		nf.Heal(station)
+	}
+}
+
+func (c *Campaign) record(r Record) {
+	c.Log = append(c.Log, r)
+	c.k.Trace("faults", "%s", r.String())
+}
+
+// Injections counts scheduled activations.
+func (c *Campaign) Injections() int { return len(c.Schedule) }
+
+// ActiveFaults returns how many targets are currently faulted.
+func (c *Campaign) ActiveFaults() int {
+	n := 0
+	for _, b := range c.busy {
+		if b {
+			n++
+		}
+	}
+	return n
+}

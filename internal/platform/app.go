@@ -106,14 +106,20 @@ func (a *AppInstance) release(job int64) {
 	if a.State != StateRunning {
 		return
 	}
-	release := a.node.k.Now()
-	exec := a.execTime()
-	a.CPUTime += exec
-	deadline := release.Add(a.Spec.Deadline)
-	a.node.runDA(a, job, exec, release, deadline)
 	// Arm the next period through the cached closure (no allocation).
 	a.nextJob = job + 1
 	a.releaseRef = a.node.k.After(a.Spec.Period, a.releaseFn)
+	if a.node.health == HealthHung {
+		// Hung node: the release instant passes but nothing executes —
+		// no output, no heartbeat, no completion. Resources stay held;
+		// execution resumes with the first release after the hang clears.
+		return
+	}
+	release := a.node.k.Now()
+	exec := a.inflate(a.execTime())
+	a.CPUTime += exec
+	deadline := release.Add(a.Spec.Deadline)
+	a.node.runDA(a, job, exec, release, deadline)
 }
 
 func (a *AppInstance) execTime() sim.Duration {
@@ -127,6 +133,15 @@ func (a *AppInstance) execTime() sim.Duration {
 	}
 	if e > wcet {
 		e = wcet
+	}
+	return e
+}
+
+// inflate applies the node's slow-down factor after the WCET clamp, so
+// an injected slow-down can violate the WCET assumption.
+func (a *AppInstance) inflate(e sim.Duration) sim.Duration {
+	if f := a.node.slowdown; f > 1 {
+		return sim.Duration(float64(e) * f)
 	}
 	return e
 }
@@ -161,6 +176,9 @@ func (a *AppInstance) complete(job int64, release, started, finished, deadline s
 func (a *AppInstance) Submit(exec sim.Duration, done func()) error {
 	if a.State != StateRunning {
 		return fmt.Errorf("platform: app %s not running", a.Spec.Name)
+	}
+	if a.node.health == HealthHung {
+		return fmt.Errorf("platform: node %s is hung", a.node.ecu.Name)
 	}
 	if a.Spec.Kind != model.NonDeterministic {
 		return fmt.Errorf("platform: %s is deterministic; it runs on its period", a.Spec.Name)

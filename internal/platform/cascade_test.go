@@ -1,0 +1,113 @@
+package platform
+
+import (
+	"testing"
+
+	"dynaplat/internal/sim"
+)
+
+func cascadeFault(p *Platform, node *Node, at int64) {
+	p.Kernel().At(sim.Time(ms(at)), func() {
+		node.Diag().RecordFault(Fault{App: "lane", Kind: FaultDeadlineMiss})
+	})
+}
+
+func TestCascadeEscalatesThenRelaxes(t *testing.T) {
+	p, node := modesPlatform(t)
+	m := NewModeManager(p, DefaultModes())
+	m.EnableCascade([]CascadeRule{
+		{Kind: FaultDeadlineMiss, Count: 3, Window: ms(100)},
+	}, ms(500))
+	k := p.Kernel()
+	// Burst 1 escalates normal -> degraded, burst 2 degraded -> limp-home.
+	for _, at := range []int64{10, 20, 30, 40, 50, 60} {
+		cascadeFault(p, node, at)
+	}
+	k.RunUntil(sim.Time(ms(70)))
+	if m.Current() != "limp-home" {
+		t.Fatalf("mode after two bursts = %s", m.Current())
+	}
+	if node.App("media").State != StateStopped || node.App("lane").State != StateStopped {
+		t.Error("load not shed in limp-home")
+	}
+	// Quiet period: one relaxation step per relaxAfter, chaining back to
+	// the base mode.
+	k.RunUntil(sim.Time(ms(600)))
+	if m.Current() != "degraded" {
+		t.Errorf("mode after first quiet period = %s", m.Current())
+	}
+	k.RunUntil(sim.Time(ms(2000)))
+	if m.Current() != "normal" {
+		t.Errorf("mode after sustained quiet = %s", m.Current())
+	}
+	if node.App("media").State != StateRunning || node.App("lane").State != StateRunning {
+		t.Error("apps not resumed after relaxation")
+	}
+	if len(m.Transitions) != 4 { // two up, two down
+		t.Errorf("transitions = %d: %+v", len(m.Transitions), m.Transitions)
+	}
+}
+
+func TestCascadeWindowSlides(t *testing.T) {
+	p, node := modesPlatform(t)
+	m := NewModeManager(p, DefaultModes())
+	m.EnableCascade([]CascadeRule{
+		{Kind: FaultDeadlineMiss, Count: 3, Window: ms(50)},
+	}, 0) // relaxation disabled
+	k := p.Kernel()
+	// Three faults, each outside the previous one's window: no escalation.
+	for _, at := range []int64{10, 100, 200} {
+		cascadeFault(p, node, at)
+	}
+	k.RunUntil(sim.Time(ms(300)))
+	if m.Current() != "normal" {
+		t.Errorf("sparse faults escalated to %s", m.Current())
+	}
+	// Wrong fault kind never qualifies.
+	k.At(sim.Time(ms(310)), func() {
+		for i := 0; i < 5; i++ {
+			node.Diag().RecordFault(Fault{App: "x", Kind: FaultSecurity})
+		}
+	})
+	k.RunUntil(sim.Time(ms(400)))
+	if m.Current() != "normal" {
+		t.Errorf("wrong-kind faults escalated to %s", m.Current())
+	}
+}
+
+func TestCascadeManualTransitionResetsWindows(t *testing.T) {
+	p, node := modesPlatform(t)
+	m := NewModeManager(p, DefaultModes())
+	m.EnableCascade([]CascadeRule{
+		{Kind: FaultDeadlineMiss, Count: 3, Window: ms(200)},
+	}, 0)
+	k := p.Kernel()
+	cascadeFault(p, node, 10)
+	cascadeFault(p, node, 20)
+	k.At(sim.Time(ms(30)), func() { m.Escalate("operator") }) // clears windows
+	cascadeFault(p, node, 40)                                 // 1st fault of the new window
+	k.RunUntil(sim.Time(ms(100)))
+	if m.Current() != "degraded" {
+		t.Errorf("mode = %s, want degraded (stale window must not chain)", m.Current())
+	}
+}
+
+func TestCascadeValidation(t *testing.T) {
+	p, _ := modesPlatform(t)
+	m := NewModeManager(p, DefaultModes())
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty rules", func() { m.EnableCascade(nil, 0) })
+	mustPanic("zero count", func() {
+		m.EnableCascade([]CascadeRule{{Kind: FaultDeadlineMiss, Count: 0, Window: ms(10)}}, 0)
+	})
+	mustPanic("zero window", func() {
+		m.EnableCascade([]CascadeRule{{Kind: FaultDeadlineMiss, Count: 1}}, 0)
+	})
+}

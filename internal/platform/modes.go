@@ -59,6 +59,28 @@ type ModeManager struct {
 	EscalateOn FaultKind
 
 	faultsSeen int
+
+	// Degradation cascade (EnableCascade): sliding-window rules that
+	// escalate full → degraded → limp-home, plus automatic relaxation
+	// after a quiet period.
+	cascade       []cascadeState
+	relaxAfter    sim.Duration
+	relaxRef      sim.EventRef
+	lastQualified sim.Time
+}
+
+// CascadeRule escalates one mode when Count faults of Kind arrive
+// within a sliding Window.
+type CascadeRule struct {
+	Kind   FaultKind
+	Count  int
+	Window sim.Duration
+}
+
+// cascadeState tracks one rule's recent fault times.
+type cascadeState struct {
+	rule  CascadeRule
+	times []sim.Time
 }
 
 // NewModeManager creates a manager starting in the first (least strict)
@@ -90,15 +112,87 @@ func NewModeManager(p *Platform, policies []ModePolicy) *ModeManager {
 // Current returns the active mode name.
 func (m *ModeManager) Current() string { return m.policies[m.current].Name }
 
+// EnableCascade installs the degradation cascade: each rule escalates
+// one mode when its fault count is reached within its sliding window,
+// chaining full → degraded → limp-home as faults keep arriving. After
+// relaxAfter of virtual time without any qualifying fault the manager
+// relaxes one mode at a time back toward the base mode (0 disables
+// auto-relaxation). Rules with non-positive Count or Window panic.
+func (m *ModeManager) EnableCascade(rules []CascadeRule, relaxAfter sim.Duration) {
+	if len(rules) == 0 {
+		panic("platform: empty cascade rule set")
+	}
+	for _, r := range rules {
+		if r.Count <= 0 || r.Window <= 0 {
+			panic(fmt.Sprintf("platform: invalid cascade rule %+v", r))
+		}
+	}
+	m.cascade = m.cascade[:0]
+	for _, r := range rules {
+		m.cascade = append(m.cascade, cascadeState{rule: r})
+	}
+	m.relaxAfter = relaxAfter
+}
+
 // onFault counts qualifying faults and escalates at the threshold.
 func (m *ModeManager) onFault(f Fault) {
-	if m.FaultEscalation <= 0 || f.Kind != m.EscalateOn {
+	if m.FaultEscalation > 0 && f.Kind == m.EscalateOn {
+		m.faultsSeen++
+		if m.faultsSeen >= m.FaultEscalation {
+			m.Escalate(fmt.Sprintf("auto: %d %v faults", m.faultsSeen, m.EscalateOn))
+		}
+	}
+	m.onCascadeFault(f)
+}
+
+// onCascadeFault feeds the sliding-window rules.
+func (m *ModeManager) onCascadeFault(f Fault) {
+	now := m.p.Kernel().Now()
+	qualified := false
+	for i := range m.cascade {
+		cs := &m.cascade[i]
+		if f.Kind != cs.rule.Kind {
+			continue
+		}
+		qualified = true
+		cs.times = append(cs.times, now)
+		// Prune entries outside the window.
+		cut := 0
+		for cut < len(cs.times) && now.Sub(cs.times[cut]) > cs.rule.Window {
+			cut++
+		}
+		cs.times = cs.times[cut:]
+		if len(cs.times) >= cs.rule.Count {
+			m.Escalate(fmt.Sprintf("cascade: %d %v faults in %v", len(cs.times), cs.rule.Kind, cs.rule.Window))
+			cs.times = cs.times[:0]
+		}
+	}
+	if qualified {
+		m.lastQualified = now
+		m.armRelax()
+	}
+}
+
+// armRelax (re)schedules the quiet-period check.
+func (m *ModeManager) armRelax() {
+	if m.relaxAfter <= 0 {
 		return
 	}
-	m.faultsSeen++
-	if m.faultsSeen >= m.FaultEscalation {
-		m.Escalate(fmt.Sprintf("auto: %d %v faults", m.faultsSeen, m.EscalateOn))
+	m.relaxRef.Cancel()
+	var tick func()
+	tick = func() {
+		if m.current == 0 {
+			return // back at base: nothing to relax
+		}
+		quiet := m.p.Kernel().Now().Sub(m.lastQualified)
+		if quiet >= m.relaxAfter {
+			m.Relax(fmt.Sprintf("cascade: quiet for %v", quiet))
+		}
+		if m.current > 0 {
+			m.relaxRef = m.p.Kernel().After(m.relaxAfter, tick)
+		}
 	}
+	m.relaxRef = m.p.Kernel().After(m.relaxAfter, tick)
 }
 
 // Escalate moves one mode stricter (no-op at the strictest mode).
@@ -157,5 +251,8 @@ func (m *ModeManager) setMode(target int, reason string) {
 	}
 	m.current = target
 	m.faultsSeen = 0
+	for i := range m.cascade {
+		m.cascade[i].times = m.cascade[i].times[:0]
+	}
 	m.Transitions = append(m.Transitions, tr)
 }

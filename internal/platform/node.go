@@ -91,6 +91,10 @@ type Node struct {
 	// Hooks for the runtime monitor (Section 3.4).
 	onComplete []func(Completion)
 
+	// Fault-injection state (see faultinject.go).
+	health   Health
+	slowdown float64 // 0 or <=1 means nominal
+
 	// Services
 	log   *LogService
 	store *PersistenceService

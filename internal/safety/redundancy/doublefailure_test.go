@@ -1,0 +1,165 @@
+package redundancy
+
+import (
+	"testing"
+
+	"dynaplat/internal/platform"
+	"dynaplat/internal/sim"
+)
+
+// TestSecondFailureInsidePromotionWindow: the replacement ECU dies while
+// its promotion delay is still running. The re-validation at the end of
+// the window must detect the dead candidate and promote the third
+// replica immediately — not wait for a heartbeat-silence detection on a
+// master that never produced a heartbeat.
+func TestSecondFailureInsidePromotionWindow(t *testing.T) {
+	p := newPlatform(t, "a", "b", "c")
+	m := NewManager(p)
+	cfg := DefaultConfig() // 10 ms heartbeat, 3 misses, 5 ms promotion
+	g, err := m.Replicate(steerSpec(), []string{"a", "b", "c"}, platform.Behavior{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	k := p.Kernel()
+	// Master a dies at 101 ms (last output 100 ms); detection at the
+	// 130 ms supervision tick; b's promotion completes at 135 ms.
+	k.At(sim.Time(ms(101)), func() { m.FailECU("a") })
+	// b dies at 133 ms — inside the promotion window.
+	k.At(sim.Time(ms(133)), func() { m.FailECU("b") })
+	k.RunUntil(sim.Time(ms(600)))
+	if len(g.Failovers) != 1 {
+		t.Fatalf("failovers = %d: %+v", len(g.Failovers), g.Failovers)
+	}
+	ev := g.Failovers[0]
+	if ev.NewMaster != "steer/r2" {
+		t.Errorf("new master = %s, want steer/r2 (b died mid-promotion)", ev.NewMaster)
+	}
+	// Immediate re-promotion: the gap is one detection + two promotion
+	// delays + one activation period, nowhere near a second full
+	// detection cycle.
+	maxGap := sim.Duration(cfg.MissThreshold+1)*cfg.HeartbeatPeriod +
+		2*cfg.PromotionDelay + cfg.HeartbeatPeriod
+	if ev.ServiceGap <= 0 || ev.ServiceGap > maxGap {
+		t.Errorf("service gap = %v, bound %v", ev.ServiceGap, maxGap)
+	}
+	before := g.Outputs
+	k.RunUntil(sim.Time(ms(900)))
+	if g.Outputs <= before {
+		t.Error("no outputs after double failure")
+	}
+}
+
+// TestKillPromotedMasterOneHeartbeatLater: the newly promoted master
+// survives promotion, produces output, and is killed one heartbeat
+// later. A second, full detection cycle must promote the third replica
+// with a bounded service gap.
+func TestKillPromotedMasterOneHeartbeatLater(t *testing.T) {
+	p := newPlatform(t, "a", "b", "c")
+	m := NewManager(p)
+	cfg := DefaultConfig()
+	g, err := m.Replicate(steerSpec(), []string{"a", "b", "c"}, platform.Behavior{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	k := p.Kernel()
+	k.At(sim.Time(ms(101)), func() { m.FailECU("a") })
+	// Watch for b's promotion, then kill it one heartbeat later.
+	killed := false
+	k.Every(sim.Time(ms(1)), ms(1), func() {
+		if killed || len(g.Failovers) != 1 {
+			return
+		}
+		killed = true
+		k.After(cfg.HeartbeatPeriod, func() { m.FailECU("b") })
+	})
+	k.RunUntil(sim.Time(ms(900)))
+	if !killed {
+		t.Fatal("first failover never observed")
+	}
+	if len(g.Failovers) != 2 {
+		t.Fatalf("failovers = %d: %+v", len(g.Failovers), g.Failovers)
+	}
+	if g.Failovers[1].NewMaster != "steer/r2" {
+		t.Errorf("second failover = %+v", g.Failovers[1])
+	}
+	// Both gaps bounded by detection + promotion + one period.
+	maxGap := sim.Duration(cfg.MissThreshold+1)*cfg.HeartbeatPeriod +
+		cfg.PromotionDelay + 2*cfg.HeartbeatPeriod
+	for i, ev := range g.Failovers {
+		if ev.ServiceGap <= 0 || ev.ServiceGap > maxGap {
+			t.Errorf("failover %d service gap = %v, bound %v", i, ev.ServiceGap, maxGap)
+		}
+	}
+	before := g.Outputs
+	k.RunUntil(sim.Time(ms(1200)))
+	if g.Outputs <= before {
+		t.Error("service dead after second failover")
+	}
+}
+
+// TestRepairedReplicaRejoins: a crashed ECU that is repaired resumes
+// executing its replica; the group re-admits it (activity-based) and can
+// promote it when the standing master later dies.
+func TestRepairedReplicaRejoins(t *testing.T) {
+	p := newPlatform(t, "a", "b")
+	m := NewManager(p)
+	g, err := m.Replicate(steerSpec(), []string{"a", "b"}, platform.Behavior{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	k := p.Kernel()
+	var stopped []string
+	k.At(sim.Time(ms(101)), func() { stopped = p.Node("a").Crash() })
+	k.At(sim.Time(ms(300)), func() { p.Node("a").Restore(stopped) })
+	k.At(sim.Time(ms(501)), func() { m.FailECU("b") })
+	k.RunUntil(sim.Time(ms(900)))
+	if len(g.Failovers) != 2 {
+		t.Fatalf("failovers = %d: %+v", len(g.Failovers), g.Failovers)
+	}
+	if g.Failovers[1].NewMaster != "steer/r0" {
+		t.Errorf("repaired replica not promoted: %+v", g.Failovers[1])
+	}
+	before := g.Outputs
+	k.RunUntil(sim.Time(ms(1200)))
+	if g.Outputs <= before {
+		t.Error("no outputs from rejoined replica")
+	}
+}
+
+// TestHungReplicaNotReadmitted: a hung node's replica still reads
+// "running" but does not execute; liveness is judged by activity, so it
+// must not be re-admitted until the hang clears.
+func TestHungReplicaNotReadmitted(t *testing.T) {
+	p := newPlatform(t, "a", "b")
+	m := NewManager(p)
+	g, err := m.Replicate(steerSpec(), []string{"a", "b"}, platform.Behavior{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	k := p.Kernel()
+	k.At(sim.Time(ms(101)), func() { p.Node("a").SetHung(true) })
+	k.At(sim.Time(ms(401)), func() { m.FailECU("b") })
+	k.RunUntil(sim.Time(ms(600)))
+	if len(g.Failovers) != 1 {
+		t.Fatalf("failovers at 600ms = %d: %+v", len(g.Failovers), g.Failovers)
+	}
+	// Both replicas out: service stalls, hung r0 must not be promoted.
+	stalled := g.Outputs
+	k.RunUntil(sim.Time(ms(700)))
+	if g.Outputs != stalled {
+		t.Fatal("outputs produced while both replicas were dead/hung")
+	}
+	// Hang clears: r0 resumes activating, is re-admitted and promoted.
+	k.At(sim.Time(ms(701)), func() { p.Node("a").SetHung(false) })
+	k.RunUntil(sim.Time(ms(1100)))
+	if len(g.Failovers) != 2 || g.Failovers[1].NewMaster != "steer/r0" {
+		t.Fatalf("unhung replica not promoted: %+v", g.Failovers)
+	}
+	if g.Outputs <= stalled {
+		t.Error("service still dead after hang cleared")
+	}
+}

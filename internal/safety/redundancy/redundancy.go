@@ -60,6 +60,7 @@ type Group struct {
 
 	lastBeat   sim.Time
 	lastOutput sim.Time
+	lastSeen   []sim.Time // per-replica last activation (rejoin detection)
 	ticker     *sim.Ticker
 	promoting  bool
 
@@ -122,6 +123,7 @@ func (m *Manager) Replicate(spec model.App, ecus []string, b platform.Behavior, 
 		g.instances = append(g.instances, ai)
 		g.nodes = append(g.nodes, node)
 		g.alive = append(g.alive, true)
+		g.lastSeen = append(g.lastSeen, 0)
 	}
 	m.groups[spec.Name] = g
 	return g, nil
@@ -154,9 +156,11 @@ func (g *Group) Stop() {
 // Master returns the current master's instance.
 func (g *Group) Master() *platform.AppInstance { return g.instances[g.master] }
 
-// onActivate handles a replica's activation: the master's activations are
-// the service output and double as heartbeats.
+// onActivate handles a replica's activation: every replica's activations
+// feed rejoin detection; the master's activations additionally are the
+// service output and double as heartbeats.
 func (g *Group) onActivate(idx int, _ int64) {
+	g.lastSeen[idx] = g.mgr.k.Now()
 	if idx != g.master || !g.alive[idx] {
 		return
 	}
@@ -169,6 +173,40 @@ func (g *Group) onActivate(idx int, _ int64) {
 	}
 }
 
+// rejoinWindow is the freshness bound for re-admitting a replica: it
+// must have activated within MissThreshold heartbeat periods.
+func (g *Group) rejoinWindow() sim.Duration {
+	return sim.Duration(g.cfg.MissThreshold) * g.cfg.HeartbeatPeriod
+}
+
+// readmit marks previously failed replicas alive again once they are
+// running *and* demonstrably executing (a repaired/rebooted ECU's
+// replica resumes activating; a hung one does not, even though its app
+// state still reads running — liveness is judged by activity, not
+// state).
+func (g *Group) readmit(now sim.Time) {
+	for i := range g.instances {
+		if g.alive[i] || i == g.master {
+			continue
+		}
+		if g.instances[i].State == platform.StateRunning &&
+			g.lastSeen[i] > 0 && now.Sub(g.lastSeen[i]) < g.rejoinWindow() {
+			g.alive[i] = true
+			g.mgr.k.Trace("redundancy", "%s replica %d rejoined", g.logical, i)
+		}
+	}
+}
+
+// pickNext selects the lowest-indexed promotable replica, or -1.
+func (g *Group) pickNext() int {
+	for i := range g.instances {
+		if i != g.master && g.alive[i] && g.instances[i].State == platform.StateRunning {
+			return i
+		}
+	}
+	return -1
+}
+
 // supervise checks heartbeat freshness and fails over when the master has
 // been silent for MissThreshold periods.
 func (g *Group) supervise() {
@@ -176,35 +214,48 @@ func (g *Group) supervise() {
 		return
 	}
 	now := g.mgr.k.Now()
+	g.readmit(now)
 	silent := now.Sub(g.lastBeat)
-	if silent < sim.Duration(g.cfg.MissThreshold)*g.cfg.HeartbeatPeriod {
+	if silent < g.rejoinWindow() {
 		return
 	}
-	// Master considered dead.
+	// Master considered dead. Record the fault once per failure episode
+	// (supervise keeps ticking while no replacement exists).
 	failed := g.master
-	g.alive[failed] = false
-	g.nodes[failed].Diag().RecordFault(platform.Fault{
-		App: g.instances[failed].Spec.Name, Kind: platform.FaultHeartbeatLost,
-		At: now, Detail: fmt.Sprintf("silent for %v", silent),
-	})
-	next := -1
-	for i := range g.instances {
-		if g.alive[i] && g.instances[i].State == platform.StateRunning {
-			next = i
-			break
-		}
+	if g.alive[failed] {
+		g.alive[failed] = false
+		g.nodes[failed].Diag().RecordFault(platform.Fault{
+			App: g.instances[failed].Spec.Name, Kind: platform.FaultHeartbeatLost,
+			At: now, Detail: fmt.Sprintf("silent for %v", silent),
+		})
 	}
+	g.beginPromotion(failed, now, g.lastOutput)
+}
+
+// beginPromotion selects a replacement and promotes it after the
+// promotion delay. The candidate is re-validated when the delay expires:
+// a second ECU failure during the promotion window (the double-failure
+// window) kills the candidate before it ever outputs, in which case the
+// next live replica is promoted immediately — without waiting for a
+// fresh heartbeat-silence detection on a master that never spoke.
+func (g *Group) beginPromotion(failed int, detected sim.Time, lastOut sim.Time) {
+	next := g.pickNext()
 	if next < 0 {
-		return // no live replica: the function is lost
+		return // no live replica now; supervise keeps watching for rejoins
 	}
-	detected := now
-	lastOut := g.lastOutput
 	g.promoting = true
 	g.mgr.k.After(g.cfg.PromotionDelay, func() {
+		g.promoting = false
+		if g.instances[next].State != platform.StateRunning || !g.alive[next] {
+			// Candidate died during the promotion window: try the next
+			// replica right away.
+			g.alive[next] = false
+			g.beginPromotion(failed, detected, lastOut)
+			return
+		}
 		g.master = next
 		// Grace period: the new master gets a fresh heartbeat window.
 		g.lastBeat = g.mgr.k.Now()
-		g.promoting = false
 		// The new master's next activation produces output; record the
 		// failover once it does.
 		prevOutputs := g.Outputs
@@ -233,14 +284,14 @@ func (g *Group) supervise() {
 }
 
 // FailECU simulates a hard ECU failure: every application instance on the
-// node stops immediately (Section 3.3's highway scenario).
+// node stops immediately (Section 3.3's highway scenario). It delegates
+// to the node's fault-injection crash, so ad hoc failures and campaign-
+// driven ones (internal/faults) share one code path.
 func (m *Manager) FailECU(ecu string) error {
 	node := m.p.Node(ecu)
 	if node == nil {
 		return fmt.Errorf("redundancy: unknown ECU %s", ecu)
 	}
-	for _, app := range node.Apps() {
-		node.App(app).Stop()
-	}
+	node.Crash()
 	return nil
 }

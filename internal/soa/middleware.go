@@ -60,6 +60,26 @@ type Middleware struct {
 	// RPCTimeouts counts CallTimeout expirations.
 	RPCTimeouts int64
 
+	// Resilience counters (see retry.go and reliable.go).
+
+	// RetryAttempts counts re-issued RPC attempts (excluding firsts).
+	RetryAttempts int64
+	// RetryRecovered counts calls that succeeded after >= 1 retry.
+	RetryRecovered int64
+	// RetryExhausted counts calls that failed after the retry policy
+	// ran out of attempts or budget.
+	RetryExhausted int64
+	// DuplicatesSuppressed counts provider-side handler invocations
+	// skipped because the session was already served (idempotent
+	// retries: the cached response is replayed instead).
+	DuplicatesSuppressed int64
+	// SeqGaps counts sequence discontinuities observed by reliable
+	// subscriptions; GapEventsRecovered / GapEventsUnrecoverable split
+	// the missing events by re-request outcome.
+	SeqGaps                int64
+	GapEventsRecovered     int64
+	GapEventsUnrecoverable int64
+
 	attachedStations map[string]bool
 
 	// Service-discovery state (see discovery.go).
@@ -90,7 +110,28 @@ type service struct {
 	// History retention for late joiners (see qos.go).
 	historyDepth int
 	history      []Event
+
+	// pubSeq numbers PublishSeq publications (gap detection,
+	// reliable.go).
+	pubSeq uint32
+
+	// served caches responses by session for idempotent retries
+	// (bounded FIFO; see retry.go).
+	served      map[uint32]servedResp
+	servedOrder []uint32
 }
+
+// servedResp is one cached RPC response for duplicate suppression.
+type servedResp struct {
+	bytes   int
+	payload any
+}
+
+// servedCap bounds the per-service duplicate-suppression cache. Sessions
+// evicted here can in principle be re-executed by a very late retry;
+// handlers relying on exactly-once beyond this window must deduplicate
+// themselves.
+const servedCap = 4096
 
 type subscription struct {
 	ep *Endpoint
@@ -110,6 +151,9 @@ type Event struct {
 	// Published is when the producer published; Delivered is receipt.
 	Published sim.Time
 	Delivered sim.Time
+	// Recovered marks an event back-filled by a reliable subscription's
+	// re-request (reliable.go) rather than delivered fresh.
+	Recovered bool
 }
 
 // Latency returns publish→delivery latency.
@@ -235,8 +279,19 @@ func (e *Endpoint) App() string { return e.app }
 func (e *Endpoint) ECU() string { return e.ecu }
 
 // Migrate moves the endpoint to another ECU (used by failover and DSE
-// what-if simulation). Offered services keep their identity.
-func (e *Endpoint) Migrate(ecu string) { e.ecu = ecu }
+// what-if simulation). Offered services keep their identity. The
+// destination ECU's station is attached to every network the endpoint's
+// offers use, so the migrated provider answers service discovery and
+// publishes immediately — without waiting for a first transfer to attach
+// it lazily.
+func (e *Endpoint) Migrate(ecu string) {
+	e.ecu = ecu
+	for _, svc := range e.m.svcs {
+		if svc.provider == e && svc.netName != "" {
+			e.m.ensureAttached(e.m.nets[svc.netName], ecu)
+		}
+	}
+}
 
 // OfferOpts configures an offered interface.
 type OfferOpts struct {
@@ -387,6 +442,15 @@ func (e *Endpoint) CallTimeout(iface string, reqBytes int, req any,
 // response back. done receives the response event. The call is
 // authorized like a subscription.
 func (e *Endpoint) Call(iface string, reqBytes int, req any, done func(Event)) error {
+	return e.call(iface, 0, reqBytes, req, done)
+}
+
+// call is the shared RPC core. dedupe, when non-zero, identifies a
+// logical call across retries: the provider executes the handler once
+// per session and replays the cached response for duplicates, so a
+// retried request whose original was delivered (but whose response was
+// lost) does not re-execute side effects.
+func (e *Endpoint) call(iface string, dedupe uint32, reqBytes int, req any, done func(Event)) error {
 	svc, ok := e.m.svcs[iface]
 	if !ok {
 		return &ErrNoService{Iface: iface}
@@ -402,11 +466,7 @@ func (e *Endpoint) Call(iface string, reqBytes int, req any, done func(Event)) e
 	e.m.next.session++
 	start := e.m.k.Now()
 	provider := svc.provider
-	e.m.transfer(svc, e, provider, HeaderSize+reqBytes, func() {
-		respBytes, resp, proc := svc.handler(req)
-		if proc < 0 {
-			proc = 0
-		}
+	respond := func(respBytes int, resp any, proc sim.Duration) {
 		e.m.k.After(proc, func() {
 			e.m.transfer(svc, provider, e, HeaderSize+respBytes, func() {
 				now := e.m.k.Now()
@@ -417,6 +477,35 @@ func (e *Endpoint) Call(iface string, reqBytes int, req any, done func(Event)) e
 				}
 			})
 		})
+	}
+	e.m.transfer(svc, e, provider, HeaderSize+reqBytes, func() {
+		if dedupe != 0 {
+			if cached, ok := svc.served[dedupe]; ok {
+				// Idempotency via the session number: the handler already
+				// ran for this logical call; replay its response without
+				// re-executing (and without re-paying processing time).
+				e.m.DuplicatesSuppressed++
+				e.m.k.Trace("soa", "suppressed duplicate session %d of %s", dedupe, iface)
+				respond(cached.bytes, cached.payload, 0)
+				return
+			}
+		}
+		respBytes, resp, proc := svc.handler(req)
+		if proc < 0 {
+			proc = 0
+		}
+		if dedupe != 0 {
+			if svc.served == nil {
+				svc.served = map[uint32]servedResp{}
+			}
+			svc.served[dedupe] = servedResp{bytes: respBytes, payload: resp}
+			svc.servedOrder = append(svc.servedOrder, dedupe)
+			if len(svc.servedOrder) > servedCap {
+				delete(svc.served, svc.servedOrder[0])
+				svc.servedOrder = svc.servedOrder[1:]
+			}
+		}
+		respond(respBytes, resp, proc)
 	})
 	return nil
 }

@@ -1,0 +1,168 @@
+package soa
+
+import (
+	"fmt"
+
+	"dynaplat/internal/sim"
+)
+
+// Per-call retry with exponential backoff: the client-side half of the
+// resilience layer. Frame loss, partitions and crashed providers all
+// surface to an RPC client as a missing response; the retry policy turns
+// transient instances of those into recovered calls while the session-
+// keyed duplicate suppression in call() keeps the provider's handler
+// exactly-once even when the *request* made it through and only the
+// response was lost.
+
+// RetryPolicy configures CallRetry.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (minimum 1; DefaultRetryPolicy uses 4).
+	MaxAttempts int
+	// Backoff is the delay before the first retry; each further retry
+	// multiplies it by Multiplier up to MaxBackoff.
+	Backoff sim.Duration
+	// MaxBackoff caps the backoff growth (0 = uncapped).
+	MaxBackoff sim.Duration
+	// Multiplier is the backoff growth factor (default 2).
+	Multiplier float64
+	// JitterFrac spreads each backoff uniformly over ±frac of itself,
+	// drawn from the simulation RNG — deterministic per seed, but
+	// decorrelated across retrying clients.
+	JitterFrac float64
+	// Budget bounds the whole call (first attempt to final verdict).
+	// Attempts that cannot complete a per-try timeout within the
+	// remaining budget are not started. 0 = no budget.
+	Budget sim.Duration
+}
+
+// DefaultRetryPolicy returns 4 attempts, 2 ms initial backoff doubling
+// to at most 16 ms, 20% jitter and no overall budget.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		Backoff:     2 * sim.Millisecond,
+		MaxBackoff:  16 * sim.Millisecond,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	}
+}
+
+// normalized fills policy defaults.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 2 * sim.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.JitterFrac < 0 || p.JitterFrac > 1 {
+		p.JitterFrac = 0
+	}
+	return p
+}
+
+// CallRetry performs an RPC with a per-attempt timeout and the given
+// retry policy. done receives the (first) response; onFail runs when the
+// attempts or the budget are exhausted without a response. All attempts
+// share one session number, so the provider suppresses duplicate handler
+// executions. The synchronous error reports immediate failures of the
+// first attempt (unknown service, unauthorized, no handler).
+func (e *Endpoint) CallRetry(iface string, reqBytes int, req any,
+	perTry sim.Duration, pol RetryPolicy, done func(Event), onFail func()) error {
+	if perTry <= 0 {
+		return fmt.Errorf("soa: non-positive per-attempt timeout")
+	}
+	pol = pol.normalized()
+	m := e.m
+	m.next.session++
+	session := m.next.session
+	start := m.k.Now()
+	var deadline sim.Time
+	if pol.Budget > 0 {
+		deadline = start.Add(pol.Budget)
+	}
+	settled := false
+	fail := func() {
+		if settled {
+			return
+		}
+		settled = true
+		m.RetryExhausted++
+		m.k.Trace("soa", "%s call %s session %d exhausted", e.app, iface, session)
+		if onFail != nil {
+			onFail()
+		}
+	}
+
+	var attempt func(n int, backoff sim.Duration) error
+	attempt = func(n int, backoff sim.Duration) error {
+		tryTimeout := perTry
+		if deadline > 0 {
+			remaining := deadline.Sub(m.k.Now())
+			if remaining < tryTimeout {
+				tryTimeout = remaining
+			}
+			if tryTimeout <= 0 {
+				fail()
+				return nil
+			}
+		}
+		timer := m.k.After(tryTimeout, func() {
+			if settled {
+				return
+			}
+			m.RPCTimeouts++
+			// Schedule the next attempt, or give up.
+			if n+1 >= pol.MaxAttempts {
+				fail()
+				return
+			}
+			wait := backoff
+			if pol.JitterFrac > 0 {
+				span := sim.Duration(float64(wait) * pol.JitterFrac)
+				wait += m.k.RNG().DurationRange(-span, span)
+				if wait < 0 {
+					wait = 0
+				}
+			}
+			if deadline > 0 && m.k.Now().Add(wait) >= deadline {
+				fail()
+				return
+			}
+			m.RetryAttempts++
+			next := sim.Duration(float64(backoff) * pol.Multiplier)
+			if pol.MaxBackoff > 0 && next > pol.MaxBackoff {
+				next = pol.MaxBackoff
+			}
+			m.k.After(wait, func() {
+				if settled {
+					return
+				}
+				// Re-resolving the service each attempt lets a retry
+				// reach a provider re-offered elsewhere after failover.
+				if err := attempt(n+1, next); err != nil {
+					fail()
+				}
+			})
+		})
+		return e.call(iface, session, reqBytes, req, func(ev Event) {
+			if settled {
+				return
+			}
+			settled = true
+			timer.Cancel()
+			if n > 0 {
+				m.RetryRecovered++
+				m.k.Trace("soa", "%s call %s recovered on attempt %d", e.app, iface, n+1)
+			}
+			if done != nil {
+				done(ev)
+			}
+		})
+	}
+	return attempt(0, pol.Backoff)
+}

@@ -3,7 +3,7 @@
 #
 # Extends the historic `go build ./... && go test ./...` gate with
 # `go vet` and the race detector; `go test -race ./...` exercises the
-# parallel experiment harness (internal/experiments fans E1–E20 across
+# parallel experiment harness (internal/experiments fans E1–E21 across
 # GOMAXPROCS workers), so a data race between experiments fails CI here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,5 +19,12 @@ go test ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+# Seeded fault soak: the E21 fault-campaign sweep (ECU crash/hang/reboot,
+# frame loss/corruption, partitions, babbling idiot) must render
+# byte-identically on repeated runs — the determinism contract of the
+# fault-injection engine (internal/faults).
+echo "==> fault-campaign determinism soak (E21 x2)"
+go test -run TestFaultCampaignDeterministic -count=2 ./internal/experiments/
 
 echo "verify.sh: all green"
