@@ -6,17 +6,29 @@
 //	exprun -json          # machine-readable output (one JSON object per line)
 //	exprun -parallel=false  # force the serial harness
 //	exprun -workers 4     # cap the worker pool
+//	exprun -trace t.json -metrics m.txt E21
+//	                      # observed run: Chrome trace + metrics dump
+//	exprun -tracecap N    # bound retained trace records per scope
 //
 // Experiments fan out across GOMAXPROCS workers by default; every
 // experiment owns an independent simulation kernel, so parallel output
 // is byte-identical to the serial run (tables are always emitted in
 // canonical E1..E21 order).
 //
+// -trace / -metrics switch to the observed serial harness (DESIGN.md
+// §7): experiments with observed runners (see `exprun -list`) are
+// instrumented end to end — kernel trace bridge, network frame taps,
+// SOA publish→deliver spans, platform completion slices — and a
+// per-experiment metrics summary is printed after each table.
+// Observation never changes results, and both output files are
+// byte-identical across runs for the same experiment set.
+//
 // Exit status is non-zero when any experiment's paper-derived
 // expectation is violated.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +36,7 @@ import (
 	"runtime"
 
 	"dynaplat/internal/experiments"
+	"dynaplat/internal/obs"
 )
 
 func main() {
@@ -31,11 +44,22 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit JSON lines instead of tables")
 	parallel := flag.Bool("parallel", true, "fan experiments out across a worker pool")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; implies -parallel)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (observed serial run)")
+	metricsOut := flag.String("metrics", "", "write a plain-text metrics dump (observed serial run)")
+	traceCap := flag.Int("tracecap", 0, "max retained trace records per scope (0 = unbounded)")
 	flag.Parse()
 
 	if *list {
+		obsIDs := map[string]bool{}
+		for _, id := range experiments.ObservableIDs() {
+			obsIDs[id] = true
+		}
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			if obsIDs[id] {
+				fmt.Println(id, "(observable)")
+			} else {
+				fmt.Println(id)
+			}
 		}
 		return
 	}
@@ -44,6 +68,15 @@ func main() {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
+
+	if *traceOut != "" || *metricsOut != "" {
+		if err := runObserved(ids, *traceOut, *metricsOut, *traceCap, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "exprun:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
 	n := 1
 	if *parallel || *workers > 0 {
 		n = *workers
@@ -76,4 +109,75 @@ func main() {
 		fmt.Fprintf(os.Stderr, "exprun: %d expectation(s) violated\n", violations)
 		os.Exit(1)
 	}
+}
+
+// runObserved executes the requested experiments serially with
+// instrumentation and writes the combined trace/metrics artifacts.
+func runObserved(ids []string, traceOut, metricsOut string, traceCap int, asJSON bool) error {
+	experiments.ObsTraceCap = traceCap
+	var scopes []obs.Scope
+	var runs []*experiments.ObsRun
+	violations := 0
+	enc := json.NewEncoder(os.Stdout)
+	for _, id := range ids {
+		run, err := experiments.RunObserved(id)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, run)
+		scopes = append(scopes, run.TraceScopes()...)
+		if asJSON {
+			if err := enc.Encode(run.Table); err != nil {
+				return err
+			}
+		} else {
+			run.Table.Render(os.Stdout)
+		}
+		fmt.Printf("  metrics[%s]: %s\n\n", id, run.Summary())
+		if !run.Table.Holds {
+			violations++
+		}
+	}
+	if traceOut != "" {
+		if err := writeFileBuffered(traceOut, func(w *bufio.Writer) error {
+			return obs.WriteChromeTrace(w, scopes)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace: %s (%d scopes)\n", traceOut, len(scopes))
+	}
+	if metricsOut != "" {
+		if err := writeFileBuffered(metricsOut, func(w *bufio.Writer) error {
+			for _, run := range runs {
+				if err := run.WriteMetrics(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics: %s\n", metricsOut)
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d expectation(s) violated", violations)
+	}
+	return nil
+}
+
+func writeFileBuffered(path string, fill func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := fill(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -54,12 +54,14 @@ type Bus struct {
 	FramesLost int64
 
 	rng *sim.RNG
+	tap network.Tap
 }
 
 type queued struct {
 	msg      network.Message
 	enqueued sim.Time
 	seq      uint64
+	span     uint64
 }
 
 // New creates a bus on the kernel.
@@ -80,6 +82,10 @@ func New(k *sim.Kernel, cfg Config) *Bus {
 // Name implements network.Network.
 func (b *Bus) Name() string { return b.cfg.Name }
 
+// SetTap installs an observability tap; nil disables it. The untapped
+// path costs one nil check per frame event.
+func (b *Bus) SetTap(t network.Tap) { b.tap = t }
+
 // Attach implements network.Network.
 func (b *Bus) Attach(station string, rx network.Receiver) { b.rx[station] = rx }
 
@@ -99,8 +105,12 @@ func (b *Bus) Send(msg network.Message) {
 	if msg.Bytes < 0 {
 		panic("can: negative payload size")
 	}
-	b.pending = append(b.pending, &queued{msg: msg, enqueued: b.k.Now(), seq: b.seq})
+	q := &queued{msg: msg, enqueued: b.k.Now(), seq: b.seq}
 	b.seq++
+	if b.tap != nil {
+		q.span = b.tap.FrameEnqueued(b.cfg.Name, &q.msg, q.enqueued)
+	}
+	b.pending = append(b.pending, q)
 	b.arbitrate()
 }
 
@@ -147,12 +157,18 @@ func (b *Bus) arbitrate() {
 	b.BitsSent += FrameBits(q.msg.Bytes, b.cfg.WorstCaseStuffing)
 	b.BusyTime += ft
 	b.k.Trace("can", "%s: id=%#x %dB from %s tx=%v", b.cfg.Name, q.msg.ID, q.msg.Bytes, q.msg.Src, ft)
+	if b.tap != nil {
+		b.tap.FrameTxStart(b.cfg.Name, q.span, b.k.Now())
+	}
 	lost := b.rng != nil && b.rng.Bool(b.cfg.FrameLossRate)
 	b.k.After(ft, func() {
 		b.busy = false
 		if lost {
 			b.FramesLost++
 			b.k.Trace("can", "%s: id=%#x destroyed by bus error", b.cfg.Name, q.msg.ID)
+			if b.tap != nil {
+				b.tap.FrameLost(b.cfg.Name, q.span, &q.msg, "bus-error", b.k.Now())
+			}
 		} else {
 			b.deliver(q)
 		}
@@ -164,7 +180,12 @@ func (b *Bus) deliver(q *queued) {
 	d := network.Delivery{Msg: q.msg, Enqueued: q.enqueued, Delivered: b.k.Now()}
 	if q.msg.Dst != "" {
 		if rx, ok := b.rx[q.msg.Dst]; ok {
+			if b.tap != nil {
+				b.tap.FrameDelivered(b.cfg.Name, q.span, &q.msg, q.msg.Dst, b.k.Now())
+			}
 			rx(d)
+		} else if b.tap != nil {
+			b.tap.FrameLost(b.cfg.Name, q.span, &q.msg, "no-receiver", b.k.Now())
 		}
 		return
 	}
@@ -177,6 +198,9 @@ func (b *Bus) deliver(q *queued) {
 	}
 	sort.Strings(names)
 	for _, n := range names {
+		if b.tap != nil {
+			b.tap.FrameDelivered(b.cfg.Name, q.span, &q.msg, n, b.k.Now())
+		}
 		b.rx[n](d)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"dynaplat/internal/faults"
 	"dynaplat/internal/model"
 	"dynaplat/internal/network"
+	"dynaplat/internal/obs"
 	"dynaplat/internal/platform"
 	"dynaplat/internal/safety/redundancy"
 	"dynaplat/internal/sim"
@@ -16,6 +17,7 @@ import (
 
 func init() {
 	register("E21", runE21)
+	registerObs("E21", runE21Observed)
 }
 
 // E21 — §3.3/§3.4: fault-campaign availability sweep. A seeded fault
@@ -71,11 +73,31 @@ type e21Result struct {
 	corrupted         int64
 }
 
-func e21Cell(li int, lv e21Level, cfg e21Config) e21Result {
+// e21Cell runs one cell of the sweep. When observe is true the cell is
+// fully instrumented (kernel-trace bridge, network taps on both the
+// fault layer and the medium, SOA metrics/spans, platform completion
+// spans) and the populated obs plane is returned alongside the result;
+// observation never schedules kernel events or draws randomness, so the
+// observed result is bit-identical to the unobserved one (asserted by
+// TestE21ObservedMatchesPlain).
+func e21Cell(li int, lv e21Level, cfg e21Config, observe bool) (e21Result, *obs.Obs) {
 	k := sim.NewKernel(0xE21<<4 | uint64(li))
-	nf := faults.WrapNetwork(k, tsn.New(k, tsn.DefaultConfig("backbone")),
+	var o *obs.Obs
+	if observe {
+		o = obs.New(k)
+		o.T.Cap = ObsTraceCap
+		o.BridgeKernelTrace(k)
+	}
+	medium := tsn.New(k, tsn.DefaultConfig("backbone"))
+	nf := faults.WrapNetwork(k, medium,
 		faults.NetConfig{LossRate: lv.loss, CorruptRate: lv.corrupt})
+	if o != nil {
+		tap := obs.NewNetTap(o)
+		medium.SetTap(tap)
+		nf.SetTap(tap)
+	}
 	mw := soa.New(k, nil)
+	mw.SetObs(o)
 	mw.AddNetwork(nf, 1400)
 	p := platform.New(k, mw)
 	ecus := []string{"cpmA", "cpmB", "cpmC"}
@@ -85,6 +107,7 @@ func e21Cell(li int, lv e21Level, cfg e21Config) e21Result {
 			panic(err)
 		}
 	}
+	platform.ObservePlatform(o, p)
 
 	// The replicated deterministic function: publishes one E2E-protected
 	// sample per period on the backbone.
@@ -264,6 +287,7 @@ func e21Cell(li int, lv e21Level, cfg e21Config) e21Result {
 	}
 
 	k.RunUntil(sim.Time(e21Horizon + sim.Second)) // repair tail + late recoveries
+	o.SnapshotKernel(k)
 
 	res := e21Result{
 		rpcOK:          rpcOK,
@@ -286,10 +310,43 @@ func e21Cell(li int, lv e21Level, cfg e21Config) e21Result {
 	}
 	res.avail = float64(okAll) / float64(e21Periods)
 	res.freshAvail = float64(okFresh) / float64(e21Periods)
-	return res
+	return res, o
+}
+
+// e21Levels returns the fault-intensity sweep (shared by the plain and
+// observed runners).
+func e21Levels() []e21Level {
+	return []e21Level{
+		{name: "0-none", loss: 0, corrupt: 0, mtbf: 0},
+		{name: "1-low", loss: 0.01, corrupt: 0.005, mtbf: 2 * sim.Second},
+		{name: "2-mid", loss: 0.02, corrupt: 0.01, mtbf: 1500 * sim.Millisecond},
+		{name: "3-high", loss: 0.03, corrupt: 0.01, mtbf: 800 * sim.Millisecond, babble: true},
+	}
+}
+
+// e21Configs returns the resilience configurations of the sweep.
+func e21Configs() []e21Config {
+	return []e21Config{
+		{name: "none"},
+		{name: "redundancy", redundant: true},
+		{name: "retry", resilient: true},
+		{name: "both", redundant: true, resilient: true},
+	}
 }
 
 func runE21() *Table {
+	t, _ := runE21With(false)
+	return t
+}
+
+// runE21Observed runs the full sweep with per-cell instrumentation: one
+// obs scope per cell, named "E21/<level>/<config>".
+func runE21Observed() *ObsRun {
+	t, scopes := runE21With(true)
+	return &ObsRun{Table: t, Scopes: scopes}
+}
+
+func runE21With(observe bool) (*Table, []ObsScope) {
 	t := &Table{
 		ID: "E21", Title: "Fault-campaign availability sweep",
 		Source: "§3.3, §3.4 (fault-injection engine + resilience layer)",
@@ -299,23 +356,17 @@ func runE21() *Table {
 			"fault level while the bare stack degrades; every corrupted frame " +
 			"is either E2E-caught or oracle-counted silent",
 	}
-	levels := []e21Level{
-		{name: "0-none", loss: 0, corrupt: 0, mtbf: 0},
-		{name: "1-low", loss: 0.01, corrupt: 0.005, mtbf: 2 * sim.Second},
-		{name: "2-mid", loss: 0.02, corrupt: 0.01, mtbf: 1500 * sim.Millisecond},
-		{name: "3-high", loss: 0.03, corrupt: 0.01, mtbf: 800 * sim.Millisecond, babble: true},
-	}
-	configs := []e21Config{
-		{name: "none"},
-		{name: "redundancy", redundant: true},
-		{name: "retry", resilient: true},
-		{name: "both", redundant: true, resilient: true},
-	}
+	levels := e21Levels()
+	configs := e21Configs()
 	t.Holds = true
 	top := len(levels) - 1
+	var scopes []ObsScope
 	for li, lv := range levels {
 		for _, cfg := range configs {
-			r := e21Cell(li, lv, cfg)
+			r, o := e21Cell(li, lv, cfg, observe)
+			if o != nil {
+				scopes = append(scopes, ObsScope{Name: "E21/" + lv.name + "/" + cfg.name, Obs: o})
+			}
 			t.AddRow(lv.name, cfg.name, pct(r.avail), pct(r.freshAvail),
 				itoa(int64(r.failovers)), itoa(r.rpcOK), itoa(r.retryRecovered),
 				itoa(r.caught), itoa(r.silent))
@@ -341,5 +392,5 @@ func runE21() *Table {
 			}
 		}
 	}
-	return t
+	return t, scopes
 }

@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"testing"
+
+	"dynaplat/internal/can"
+	"dynaplat/internal/network"
+	"dynaplat/internal/sim"
+)
+
+// Regression tests for the partition × babbling-idiot compose order.
+// Pre-fix, the babble ticker counted BabbleFrames before handing the
+// frame to Send, so a babbler on a partitioned link still "injected"
+// frames in the accounting even though the partition blocked every one
+// of them — injected/blocked totals were inconsistent and campaign
+// reports overstated the attack traffic that actually hit the medium.
+
+type babbleRig struct {
+	k   *sim.Kernel
+	bus *can.Bus
+	nf  *NetFaults
+}
+
+func newBabbleRig(seed uint64) *babbleRig {
+	k := sim.NewKernel(seed)
+	bus := can.New(k, can.Config{Name: "body", BitsPerSecond: 500_000})
+	nf := WrapNetwork(k, bus, NetConfig{})
+	return &babbleRig{k: k, bus: bus, nf: nf}
+}
+
+// A babbler whose station is partitioned before it starts must be fully
+// contained: nothing injected, every tick blocked, the medium idle.
+func TestBabbleOnPartitionedStationFullyContained(t *testing.T) {
+	r := newBabbleRig(7)
+	r.nf.Partition("rogue")
+	r.nf.StartBabble("rogue", 0x7FF, network.ClassBulk, 8, ms(1))
+	r.k.RunUntil(sim.Time(50 * sim.Millisecond))
+	if r.nf.BabbleFrames != 0 {
+		t.Errorf("BabbleFrames = %d, want 0 (partitioned babbler counted as injected)", r.nf.BabbleFrames)
+	}
+	if r.nf.FramesBlocked != 51 { // ticks at 0..50ms inclusive
+		t.Errorf("FramesBlocked = %d, want 51", r.nf.FramesBlocked)
+	}
+	if r.bus.FramesSent != 0 {
+		t.Errorf("bus FramesSent = %d, want 0 (babble leaked through partition)", r.bus.FramesSent)
+	}
+}
+
+// Partitioning mid-babble freezes both the injected count and the
+// medium; healing resumes injection. The schedule is deterministic per
+// seed: two identical runs agree on every counter.
+func TestBabblePartitionMidRunAndHeal(t *testing.T) {
+	run := func(seed uint64) (injected, blocked, sent int64) {
+		r := newBabbleRig(seed)
+		r.nf.StartBabble("rogue", 0x7FF, network.ClassBulk, 8, ms(1))
+		r.k.RunUntil(sim.Time(20 * sim.Millisecond))
+		r.nf.Partition("rogue")
+		preInjected, preSent := r.nf.BabbleFrames, r.bus.FramesSent
+		if preInjected != 21 { // ticks at 0..20ms inclusive
+			t.Fatalf("BabbleFrames before partition = %d, want 21", preInjected)
+		}
+		r.k.RunUntil(sim.Time(60 * sim.Millisecond))
+		if r.nf.BabbleFrames != preInjected {
+			t.Errorf("BabbleFrames grew to %d during partition, want frozen at %d",
+				r.nf.BabbleFrames, preInjected)
+		}
+		if r.bus.FramesSent != preSent {
+			t.Errorf("bus FramesSent grew to %d during partition, want frozen at %d",
+				r.bus.FramesSent, preSent)
+		}
+		// 40 blocked babble ticks (21..60ms) plus the 20ms frame that was
+		// still on the bus at partition time: a partitioned station also
+		// stops *hearing* in-flight traffic, so its delivery is blocked too.
+		if r.nf.FramesBlocked != 41 {
+			t.Errorf("FramesBlocked = %d, want 41 (40 ticks + 1 in-flight rx)", r.nf.FramesBlocked)
+		}
+		// Heal: the babbler was contained, not killed — it resumes.
+		r.nf.Heal("rogue")
+		r.k.RunUntil(sim.Time(70 * sim.Millisecond))
+		if r.nf.BabbleFrames != preInjected+10 {
+			t.Errorf("BabbleFrames after heal = %d, want %d", r.nf.BabbleFrames, preInjected+10)
+		}
+		return r.nf.BabbleFrames, r.nf.FramesBlocked, r.bus.FramesSent
+	}
+	i1, b1, s1 := run(42)
+	i2, b2, s2 := run(42)
+	if i1 != i2 || b1 != b2 || s1 != s2 {
+		t.Errorf("non-deterministic babble run: (%d,%d,%d) vs (%d,%d,%d)",
+			i1, b1, s1, i2, b2, s2)
+	}
+}

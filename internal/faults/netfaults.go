@@ -54,6 +54,11 @@ type NetFaults struct {
 	BabbleFrames int64
 	// Passed counts frames handed to the wrapped medium unmodified.
 	Passed int64
+
+	// tap, when non-nil, is notified of frames the fault layer destroys
+	// before they reach the wrapped medium (the medium's own tap never
+	// sees them). All uses are nil-checked.
+	tap network.Tap
 }
 
 // WrapNetwork wraps net with the fault model. The interceptor draws its
@@ -78,6 +83,11 @@ func WrapNetwork(k *sim.Kernel, net network.Network, cfg NetConfig) *NetFaults {
 
 // Name implements network.Network (transparent to the middleware).
 func (f *NetFaults) Name() string { return f.inner.Name() }
+
+// SetTap installs an observability tap for fault-layer frame kills
+// (injected loss, corruption-drops, partition blocks); nil disables it.
+// The wrapped medium keeps its own tap for frames that pass through.
+func (f *NetFaults) SetTap(t network.Tap) { f.tap = t }
 
 // Config returns the active frame-fault configuration.
 func (f *NetFaults) Config() NetConfig { return f.cfg }
@@ -111,11 +121,17 @@ func (f *NetFaults) Attach(station string, rx network.Receiver) {
 func (f *NetFaults) Send(msg network.Message) {
 	if f.partitioned[msg.Src] {
 		f.FramesBlocked++
+		if f.tap != nil {
+			f.tap.FrameLost(f.Name(), 0, &msg, "partition", f.k.Now())
+		}
 		return
 	}
 	if f.cfg.LossRate > 0 && f.rng.Bool(f.cfg.LossRate) {
 		f.FramesDropped++
 		f.k.Trace("faults", "net %s: dropped frame id=%#x %s->%s", f.Name(), msg.ID, msg.Src, msg.Dst)
+		if f.tap != nil {
+			f.tap.FrameLost(f.Name(), 0, &msg, "fault-loss", f.k.Now())
+		}
 		return
 	}
 	if f.cfg.CorruptRate > 0 && f.rng.Bool(f.cfg.CorruptRate) {
@@ -132,6 +148,9 @@ func (f *NetFaults) Send(msg network.Message) {
 			// discards the frame, i.e. corruption degrades to loss.
 			f.CorruptDropped++
 			f.k.Trace("faults", "net %s: corruption destroyed frame id=%#x", f.Name(), msg.ID)
+			if f.tap != nil {
+				f.tap.FrameLost(f.Name(), 0, &msg, "corrupt-drop", f.k.Now())
+			}
 			return
 		}
 	}
@@ -180,6 +199,19 @@ func (f *NetFaults) StartBabble(station string, id uint32, class network.Class, 
 	}
 	b := &Babbler{f: f}
 	b.ticker = f.k.Every(f.k.Now(), period, func() {
+		if f.partitioned[station] {
+			// Compose order: partition beats babble. A babbler on a
+			// partitioned link is contained — its frame never reaches
+			// the medium and must NOT be counted as injected (it used
+			// to inflate BabbleFrames even though Send blocked it,
+			// making the injected/blocked accounting inconsistent).
+			f.FramesBlocked++
+			if f.tap != nil {
+				msg := network.Message{ID: id, Src: station, Dst: station, Class: class, Bytes: bytes}
+				f.tap.FrameLost(f.Name(), 0, &msg, "partition", f.k.Now())
+			}
+			return
+		}
 		f.BabbleFrames++
 		f.Send(network.Message{
 			ID: id, Src: station, Dst: station, Class: class, Bytes: bytes,

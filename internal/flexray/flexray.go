@@ -74,12 +74,15 @@ type Bus struct {
 	// DynamicDeferred counts frames that could not fit in their cycle's
 	// remaining minislots.
 	DynamicDeferred int64
+
+	tap network.Tap
 }
 
 type queued struct {
 	msg      network.Message
 	enqueued sim.Time
 	seq      uint64
+	span     uint64
 }
 
 // New creates a FlexRay bus on the kernel. The cyclic schedule starts
@@ -102,6 +105,10 @@ func New(k *sim.Kernel, cfg Config) *Bus {
 
 // Name implements network.Network.
 func (b *Bus) Name() string { return b.cfg.Name }
+
+// SetTap installs an observability tap; nil disables it. The untapped
+// path costs one nil check per frame event.
+func (b *Bus) SetTap(t network.Tap) { b.tap = t }
 
 // Attach implements network.Network.
 func (b *Bus) Attach(station string, rx network.Receiver) { b.rx[station] = rx }
@@ -127,6 +134,9 @@ func (b *Bus) Send(msg network.Message) {
 	}
 	q := &queued{msg: msg, enqueued: b.k.Now(), seq: b.seq}
 	b.seq++
+	if b.tap != nil {
+		q.span = b.tap.FrameEnqueued(b.cfg.Name, &q.msg, q.enqueued)
+	}
 	if msg.Class == network.ClassControl {
 		if msg.Bytes > b.cfg.StaticPayload {
 			panic(fmt.Sprintf("flexray: control payload %dB exceeds static slot %dB",
@@ -191,6 +201,9 @@ func (b *Bus) runCycle() {
 			b.StaticSent++
 			b.StaticLatency.AddDuration(b.k.Now().Sub(q.enqueued))
 			b.k.Trace("flexray", "%s: static slot %d %s %dB", b.cfg.Name, slotIdx, owner, q.msg.Bytes)
+			if b.tap != nil {
+				b.tap.FrameTxStart(b.cfg.Name, q.span, slotEnd.Add(-b.cfg.SlotLength))
+			}
 			b.deliver(q)
 		})
 	}
@@ -244,6 +257,9 @@ func (b *Bus) runDynamic(dynStart sim.Time) {
 		b.k.At(end, func() {
 			b.DynamicLatency.AddDuration(b.k.Now().Sub(q.enqueued))
 			b.k.Trace("flexray", "%s: dynamic id=%#x %s %dB", b.cfg.Name, q.msg.ID, q.msg.Src, q.msg.Bytes)
+			if b.tap != nil {
+				b.tap.FrameTxStart(b.cfg.Name, q.span, b.k.Now())
+			}
 			b.deliver(q)
 		})
 	}
@@ -254,7 +270,12 @@ func (b *Bus) deliver(q *queued) {
 	d := network.Delivery{Msg: q.msg, Enqueued: q.enqueued, Delivered: b.k.Now()}
 	if q.msg.Dst != "" {
 		if rx, ok := b.rx[q.msg.Dst]; ok {
+			if b.tap != nil {
+				b.tap.FrameDelivered(b.cfg.Name, q.span, &q.msg, q.msg.Dst, b.k.Now())
+			}
 			rx(d)
+		} else if b.tap != nil {
+			b.tap.FrameLost(b.cfg.Name, q.span, &q.msg, "no-receiver", b.k.Now())
 		}
 		return
 	}
@@ -266,6 +287,9 @@ func (b *Bus) deliver(q *queued) {
 	}
 	sort.Strings(names)
 	for _, n := range names {
+		if b.tap != nil {
+			b.tap.FrameDelivered(b.cfg.Name, q.span, &q.msg, n, b.k.Now())
+		}
 		b.rx[n](d)
 	}
 }

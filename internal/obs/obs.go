@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"dynaplat/internal/sim"
+)
+
+// Obs bundles one kernel's observability plane: a metrics registry and
+// a span/event tracer. A nil *Obs is fully inert — every layer's
+// SetObs(nil) (the default) keeps its hot path free of observability
+// work beyond a nil check.
+type Obs struct {
+	M *Registry
+	T *Trace
+}
+
+// New returns an enabled observability plane for kernel k.
+func New(k *sim.Kernel) *Obs {
+	return &Obs{M: NewRegistry(), T: NewTrace(k)}
+}
+
+// Metrics returns the registry, or nil. Safe on a nil receiver, and the
+// nil result is itself safe to call instrument getters on (they return
+// detached instruments).
+func (o *Obs) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.M
+}
+
+// Tracer returns the span tracer, or nil. Safe on a nil receiver.
+func (o *Obs) Tracer() *Trace {
+	if o == nil {
+		return nil
+	}
+	return o.T
+}
+
+// Enabled reports whether this plane records anything.
+func (o *Obs) Enabled() bool { return o != nil }
+
+// SnapshotKernel mirrors k's event-kernel statistics into gauges
+// (kernel_fired, kernel_canceled, kernel_queue_live, kernel_queue_peak,
+// kernel_pool_free, kernel_compactions) labeled {layer: sim}. Call it
+// just before dumping metrics; it reads Kernel.Stats() once.
+func (o *Obs) SnapshotKernel(k *sim.Kernel) {
+	if o == nil || o.M == nil {
+		return
+	}
+	st := k.Stats()
+	l := Labels{Layer: "sim"}
+	o.M.Gauge("kernel_fired", l).Set(int64(st.Fired))
+	o.M.Gauge("kernel_canceled", l).Set(int64(st.Canceled))
+	o.M.Gauge("kernel_queue_live", l).Set(int64(st.QueueLive))
+	o.M.Gauge("kernel_queue_peak", l).Set(int64(st.PeakQueue))
+	o.M.Gauge("kernel_pool_free", l).Set(int64(st.PoolFree))
+	o.M.Gauge("kernel_compactions", l).Set(int64(st.Compactions))
+}
+
+// BridgeKernelTrace installs a sim.Tracer on k whose events are
+// forwarded into o's span tracer as instants (category preserved, track
+// "kernel"). This captures every existing k.Trace call site across the
+// layers — fault campaign records, SOA discovery, redundancy
+// promotions, gateway routing — without touching those call sites.
+// No-op when o is nil or k already routes to this plane.
+func (o *Obs) BridgeKernelTrace(k *sim.Kernel) {
+	if o == nil || o.T == nil {
+		return
+	}
+	t := o.T
+	k.SetTracer(&sim.Tracer{Sink: func(ev sim.TraceEvent) {
+		t.push(Record{TS: ev.At, Phase: PhaseInstant, Cat: ev.Category, Name: ev.Message, Track: "kernel"})
+	}})
+}

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dynaplat/internal/sim"
+)
+
+func TestLabelsString(t *testing.T) {
+	l := Labels{Layer: "soa", ECU: "ecu1", Iface: "Speed"}
+	if got, want := l.String(), "{layer=soa,ecu=ecu1,iface=Speed}"; got != want {
+		t.Errorf("Labels.String() = %q, want %q", got, want)
+	}
+}
+
+// The registry hands out stable pointers: the same (name, labels) pair
+// always maps to the same instrument.
+func TestRegistryStablePointers(t *testing.T) {
+	r := NewRegistry()
+	l := Labels{Layer: "network", Iface: "body"}
+	c1 := r.Counter("frames", l)
+	c1.Add(3)
+	c2 := r.Counter("frames", l)
+	if c1 != c2 {
+		t.Error("same key returned distinct counters")
+	}
+	if c2.Value() != 3 {
+		t.Errorf("counter value = %d, want 3", c2.Value())
+	}
+	if r.Counter("frames", Labels{Layer: "network", Iface: "chassis"}) == c1 {
+		t.Error("distinct labels returned the same counter")
+	}
+}
+
+// Nil registry / trace / obs must be fully inert: wiring code calls
+// these unconditionally and relies on the no-op behavior.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c", Labels{}).Inc()
+	r.Gauge("g", Labels{}).Set(7)
+	r.Histogram("h", Labels{}).Observe(sim.Millisecond)
+	if err := r.WriteText(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil registry WriteText: %v", err)
+	}
+
+	var tr *Trace
+	sp := tr.Begin("cat", "n", "trk", "")
+	if sp.Valid() {
+		t.Error("nil trace Begin returned a valid span")
+	}
+	tr.End("cat", "n", "trk", sp, "")
+	tr.Instant("cat", "n", "trk", "")
+	tr.Instantf("cat", "n", "trk", "%d", 1)
+	tr.Complete("cat", "n", "trk", 0, 0, "")
+	if tr.Records() != nil {
+		t.Error("nil trace retained records")
+	}
+
+	var o *Obs
+	if o.Enabled() {
+		t.Error("nil Obs reports enabled")
+	}
+	if o.Metrics() != nil || o.Tracer() != nil {
+		t.Error("nil Obs returned non-nil components")
+	}
+	o.SnapshotKernel(sim.NewKernel(1))
+	o.BridgeKernelTrace(sim.NewKernel(1))
+	// Accessors on the nil components still work end to end.
+	o.Metrics().Counter("c", Labels{}).Inc()
+	o.Tracer().Instant("cat", "n", "trk", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	samples := []sim.Duration{
+		500,                   // ≤ 1us
+		sim.Microsecond,       // boundary: ≤ 1us
+		5 * sim.Microsecond,   // ≤ 10us
+		sim.Millisecond,       // ≤ 1ms
+		200 * sim.Millisecond, // ≤ 1s
+		2 * sim.Second,        // +Inf
+	}
+	for _, d := range samples {
+		h.Observe(d)
+	}
+	want := [8]int64{2, 1, 0, 1, 0, 0, 1, 1}
+	if h.buckets != want {
+		t.Errorf("buckets = %v, want %v", h.buckets, want)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if h.Max() != 2*sim.Second {
+		t.Errorf("max = %s, want 2s", h.Max())
+	}
+	var sum sim.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	if h.Sum() != sum || h.Mean() != sum/6 {
+		t.Errorf("sum=%s mean=%s, want %s/%s", h.Sum(), h.Mean(), sum, sum/6)
+	}
+	var empty Histogram
+	if empty.Mean() != 0 {
+		t.Errorf("empty histogram mean = %s, want 0", empty.Mean())
+	}
+}
+
+// WriteText output is sorted by (name, layer, ecu, iface) regardless of
+// creation order, and byte-identical across dumps.
+func TestWriteTextDeterministic(t *testing.T) {
+	build := func(order []int) *Registry {
+		r := NewRegistry()
+		type ent struct {
+			name string
+			l    Labels
+			v    int64
+		}
+		ents := []ent{
+			{"zz_frames", Labels{Layer: "network", Iface: "body"}, 2},
+			{"aa_jobs", Labels{Layer: "platform", ECU: "ecu2"}, 5},
+			{"aa_jobs", Labels{Layer: "platform", ECU: "ecu1"}, 4},
+		}
+		for _, i := range order {
+			r.Counter(ents[i].name, ents[i].l).Add(ents[i].v)
+		}
+		r.Gauge("mode", Labels{Layer: "platform"}).Set(3)
+		r.Histogram("lat", Labels{Layer: "soa", Iface: "Speed"}).Observe(5 * sim.Microsecond)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build([]int{0, 1, 2}).WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build([]int{2, 0, 1}).WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("creation order changed dump:\n--- a\n%s--- b\n%s", a.String(), b.String())
+	}
+	want := "counter aa_jobs{layer=platform,ecu=ecu1,iface=} 4\n" +
+		"counter aa_jobs{layer=platform,ecu=ecu2,iface=} 5\n" +
+		"counter zz_frames{layer=network,ecu=,iface=body} 2\n" +
+		"gauge mode{layer=platform,ecu=,iface=} 3\n" +
+		"hist lat{layer=soa,ecu=,iface=Speed} count=1 sum=5us max=5us mean=5us " +
+		"le{1us:0,10us:1,100us:0,1ms:0,10ms:0,100ms:0,1s:0,+Inf:0}\n"
+	if a.String() != want {
+		t.Errorf("WriteText:\n%s\nwant:\n%s", a.String(), want)
+	}
+}
+
+func TestTraceCapDropsExcess(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTrace(k)
+	tr.Cap = 2
+	for i := 0; i < 5; i++ {
+		tr.Instant("cat", "n", "trk", "")
+	}
+	if len(tr.Records()) != 2 {
+		t.Errorf("retained %d records, want 2", len(tr.Records()))
+	}
+	if tr.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", tr.Dropped)
+	}
+	// Span ordinals keep advancing even when the record is dropped, so
+	// IDs stay deterministic regardless of the cap.
+	sp := tr.Begin("cat", "s", "trk", "")
+	if sp.id != 1 {
+		t.Errorf("span id = %d, want 1", sp.id)
+	}
+}
+
+func TestSpanOrdinalsSequential(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTrace(k)
+	s1 := tr.Begin("c", "a", "t", "")
+	s2 := tr.Begin("c", "b", "t", "")
+	if s1.id != 1 || s2.id != 2 {
+		t.Errorf("span ids = %d,%d, want 1,2", s1.id, s2.id)
+	}
+	tr.End("c", "a", "t", s1, "done")
+	recs := tr.Records()
+	if len(recs) != 3 || recs[2].Phase != PhaseEnd || recs[2].Span != 1 {
+		t.Errorf("unexpected records: %+v", recs)
+	}
+}
+
+// The Chrome export must be valid JSON (including escaping of quotes,
+// backslashes and control characters) and byte-identical across writes.
+func TestChromeTraceValidAndDeterministic(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTrace(k)
+	sp := tr.Begin("net", `frame "x"\path`, "can:body", "id=0x12\tsrc")
+	tr.End("net", `frame "x"\path`, "can:body", sp, "delivered\n")
+	tr.Instant("mode", string([]byte{'m', 0x01}), "modes", "")
+	tr.Complete("platform", "job", "ecu:ecu1", sim.Time(1500), sim.Duration(2500), "ok")
+	scopes := []Scope{{Name: "test/scope", Trace: tr}, {Name: "empty", Trace: nil}}
+
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, scopes); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, scopes); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Chrome trace not byte-identical across writes")
+	}
+
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, a.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// 2 process_name metas + 2 thread_name metas (can:body, modes... plus
+	// ecu:ecu1) + 4 records.
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["M"] != 5 || phases["b"] != 1 || phases["e"] != 1 || phases["i"] != 1 || phases["X"] != 1 {
+		t.Errorf("phase histogram = %v", phases)
+	}
+	if !strings.Contains(a.String(), `"tsns":1500`) {
+		t.Error("sub-microsecond remainder not preserved in args.tsns")
+	}
+}
+
+// BridgeKernelTrace captures existing k.Trace call sites as instants.
+func TestBridgeKernelTrace(t *testing.T) {
+	k := sim.NewKernel(1)
+	o := New(k)
+	o.BridgeKernelTrace(k)
+	k.At(sim.Time(5*sim.Microsecond), func() {
+		k.Trace("faults", "inject %s", "crash")
+	})
+	k.Run()
+	recs := o.T.Records()
+	if len(recs) != 1 {
+		t.Fatalf("bridged %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Cat != "faults" || r.Name != "inject crash" || r.Track != "kernel" ||
+		r.TS != sim.Time(5*sim.Microsecond) || r.Phase != PhaseInstant {
+		t.Errorf("bridged record = %+v", r)
+	}
+}
+
+// Steady-state instrument updates and enabled trace pushes must not
+// allocate; nil-trace hooks must be free too. This is the contract that
+// lets the instrumented layers keep their hot paths allocation-free.
+func TestInstrumentsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", Labels{Layer: "x"})
+	g := r.Gauge("g", Labels{Layer: "x"})
+	h := r.Histogram("h", Labels{Layer: "x"})
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(5 * sim.Microsecond)
+	}); n != 0 {
+		t.Errorf("instrument update allocs/op = %g, want 0", n)
+	}
+	var tr *Trace
+	if n := testing.AllocsPerRun(100, func() {
+		sp := tr.Begin("c", "n", "t", "")
+		tr.End("c", "n", "t", sp, "")
+		tr.Instant("c", "n", "t", "")
+	}); n != 0 {
+		t.Errorf("nil-trace hook allocs/op = %g, want 0", n)
+	}
+}

@@ -50,6 +50,9 @@ type ModeManager struct {
 
 	// Transitions logs every mode change.
 	Transitions []ModeTransition
+	// OnTransition, when non-nil, is invoked after every mode change
+	// (observability hook; see obs.go).
+	OnTransition func(ModeTransition)
 
 	// FaultEscalation, when > 0, escalates one mode automatically after
 	// that many faults of kind EscalateOn have been observed since the
@@ -255,4 +258,7 @@ func (m *ModeManager) setMode(target int, reason string) {
 		m.cascade[i].times = m.cascade[i].times[:0]
 	}
 	m.Transitions = append(m.Transitions, tr)
+	if m.OnTransition != nil {
+		m.OnTransition(tr)
+	}
 }

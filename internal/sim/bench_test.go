@@ -116,3 +116,27 @@ func BenchmarkMixed(b *testing.B) {
 		k.RunFor(600)
 	}
 }
+
+// TestScheduleFireZeroAllocSteadyState is the hard form of
+// BenchmarkScheduleFire's allocs/op report: with tracing disabled (the
+// default), a warmed kernel's schedule→fire cycle must not allocate.
+// This pins the contract the observability hooks rely on — an
+// uninstrumented kernel pays only nil checks, never allocations.
+func TestScheduleFireZeroAllocSteadyState(t *testing.T) {
+	k := warmKernel(64)
+	var step func()
+	n := 0
+	step = func() {
+		n++
+		if n < 100 {
+			k.After(10, step)
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		n = 0
+		k.At(k.Now(), step)
+		k.Run()
+	}); allocs != 0 {
+		t.Errorf("schedule/fire steady state allocs/op = %g, want 0", allocs)
+	}
+}

@@ -21,6 +21,10 @@ type Tracer struct {
 	Out io.Writer
 	// Filter, when non-nil, limits recording to the listed categories.
 	Filter map[string]bool
+	// Sink, when non-nil, receives each event instead of the in-memory
+	// log. This is how higher-level observability (internal/obs) taps
+	// the existing k.Trace call sites without changing them.
+	Sink func(TraceEvent)
 
 	events  []TraceEvent
 	dropped int64
@@ -36,6 +40,10 @@ func (t *Tracer) Record(at Time, category, format string, args ...any) {
 		return
 	}
 	ev := TraceEvent{At: at, Category: category, Message: fmt.Sprintf(format, args...)}
+	if t.Sink != nil {
+		t.Sink(ev)
+		return
+	}
 	if t.Cap > 0 && len(t.events) >= t.Cap {
 		// Drop oldest: shift is O(n) but traces are diagnostic, not hot.
 		copy(t.events, t.events[1:])

@@ -1,0 +1,179 @@
+package soa
+
+import (
+	"testing"
+
+	"dynaplat/internal/can"
+	"dynaplat/internal/sim"
+)
+
+// Regression tests for the subscription/endpoint lifecycle seams: QoS
+// deadline supervision must stop (and release its kernel event) the
+// moment a subscription is dropped, and frames already in flight to a
+// just-removed endpoint must be dead-lettered, not delivered.
+
+// Pre-fix: superviseDeadline re-armed with a bare k.After and no handle,
+// so the final pending timer outlived the subscription — QueueLive never
+// returned to baseline and the orphan fired once into a dead check.
+func TestDeadlineSupervisionStopsAtUnsubscribe(t *testing.T) {
+	r := newRig(nil)
+	prod := r.mw.Endpoint("p", "ecu1")
+	prod.Offer("Speed", OfferOpts{})
+	cons := r.mw.Endpoint("c", "ecu1")
+	baseline := r.k.Stats().QueueLive
+	misses := 0
+	if err := cons.SubscribeQoS("Speed", QoS{
+		Deadline:       20 * sim.Millisecond,
+		OnDeadlineMiss: func(string, sim.Duration) { misses++ },
+	}, func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Unsubscribe mid-gap: the supervision timer is armed and the gap is
+	// already half over.
+	r.k.RunUntil(sim.Time(10 * sim.Millisecond))
+	cons.Unsubscribe("Speed")
+	if live := r.k.Stats().QueueLive; live != baseline {
+		t.Errorf("QueueLive after unsubscribe = %d, want baseline %d (leaked supervision timer)", live, baseline)
+	}
+	fired := r.k.Stats().Fired
+	r.k.RunUntil(sim.Time(500 * sim.Millisecond))
+	if misses != 0 {
+		t.Errorf("OnDeadlineMiss fired %d times after unsubscribe, want 0", misses)
+	}
+	if extra := r.k.Stats().Fired - fired; extra != 0 {
+		t.Errorf("%d kernel events fired after unsubscribe, want 0", extra)
+	}
+}
+
+func TestDeadlineSupervisionStopsAtRemoveEndpoint(t *testing.T) {
+	r := newRig(nil)
+	prod := r.mw.Endpoint("p", "ecu1")
+	prod.Offer("Speed", OfferOpts{})
+	cons := r.mw.Endpoint("c", "ecu1")
+	baseline := r.k.Stats().QueueLive
+	misses := 0
+	if err := cons.SubscribeQoS("Speed", QoS{
+		Deadline:       20 * sim.Millisecond,
+		OnDeadlineMiss: func(string, sim.Duration) { misses++ },
+	}, func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunUntil(sim.Time(10 * sim.Millisecond))
+	r.mw.RemoveEndpoint("c")
+	if live := r.k.Stats().QueueLive; live != baseline {
+		t.Errorf("QueueLive after RemoveEndpoint = %d, want baseline %d", live, baseline)
+	}
+	r.k.RunUntil(sim.Time(500 * sim.Millisecond))
+	if misses != 0 {
+		t.Errorf("OnDeadlineMiss fired %d times after RemoveEndpoint, want 0", misses)
+	}
+}
+
+// Removing the *provider* deletes the whole service; supervision timers
+// of surviving subscribers must be released too.
+func TestDeadlineSupervisionStopsWhenProviderRemoved(t *testing.T) {
+	r := newRig(nil)
+	prod := r.mw.Endpoint("p", "ecu1")
+	prod.Offer("Speed", OfferOpts{})
+	cons := r.mw.Endpoint("c", "ecu1")
+	baseline := r.k.Stats().QueueLive
+	if err := cons.SubscribeQoS("Speed", QoS{Deadline: 20 * sim.Millisecond},
+		func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunUntil(sim.Time(10 * sim.Millisecond))
+	r.mw.RemoveEndpoint("p")
+	if live := r.k.Stats().QueueLive; live != baseline {
+		t.Errorf("QueueLive after provider removal = %d, want baseline %d", live, baseline)
+	}
+}
+
+// Pre-fix: SubscribeQoS armed the supervision timer before the
+// authorization check, so a denied binding still left a ticking timer.
+func TestDeadlineSupervisionNotArmedOnDeniedBinding(t *testing.T) {
+	r := newRig(denyAll{})
+	prod := r.mw.Endpoint("p", "ecu1")
+	prod.Offer("Speed", OfferOpts{})
+	cons := r.mw.Endpoint("c", "ecu1")
+	baseline := r.k.Stats().QueueLive
+	if err := cons.SubscribeQoS("Speed", QoS{Deadline: 20 * sim.Millisecond},
+		func(Event) {}); err == nil {
+		t.Fatal("expected unauthorized error")
+	}
+	if live := r.k.Stats().QueueLive; live != baseline {
+		t.Errorf("QueueLive after denied SubscribeQoS = %d, want baseline %d (timer armed before auth)", live, baseline)
+	}
+}
+
+// Pre-fix: a frame already on the wire to a just-removed endpoint was
+// delivered into the dead subscriber's callback. Now it is dropped with
+// account (DeadLetters).
+func TestRemoveEndpointInFlightDeliveryTSN(t *testing.T) {
+	r := newRig(nil) // rig's backbone is TSN
+	prod := r.mw.Endpoint("p", "ecu1")
+	prod.Offer("Data", OfferOpts{Network: "backbone"})
+	cons := r.mw.Endpoint("c", "ecu2")
+	delivered := 0
+	if err := cons.Subscribe("Data", func(Event) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	prod.Publish("Data", 100, nil)
+	r.mw.RemoveEndpoint("c") // frame is on the wire
+	r.k.Run()
+	if delivered != 0 {
+		t.Errorf("delivered %d events to removed endpoint, want 0", delivered)
+	}
+	if r.mw.DeadLetters != 1 {
+		t.Errorf("DeadLetters = %d, want 1", r.mw.DeadLetters)
+	}
+}
+
+func TestRemoveEndpointInFlightDeliveryCAN(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := can.New(k, can.Config{Name: "body", BitsPerSecond: 500_000})
+	mw := New(k, nil)
+	mw.AddNetwork(bus, 8)
+	prod := mw.Endpoint("p", "ecu1")
+	prod.Offer("Door", OfferOpts{Network: "body"})
+	cons := mw.Endpoint("c", "ecu2")
+	delivered := 0
+	if err := cons.Subscribe("Door", func(Event) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	prod.Publish("Door", 4, nil) // segmented onto the CAN bus
+	mw.RemoveEndpoint("c")       // removal between publish and delivery
+	k.Run()
+	if delivered != 0 {
+		t.Errorf("delivered %d events to removed endpoint, want 0", delivered)
+	}
+	if mw.DeadLetters != 1 {
+		t.Errorf("DeadLetters = %d, want 1", mw.DeadLetters)
+	}
+}
+
+// Unsubscribing between subscription and the (LocalDelay-deferred)
+// history replay must also dead-letter the pending history samples.
+func TestUnsubscribeBeforeHistoryReplay(t *testing.T) {
+	r := newRig(nil)
+	prod := r.mw.Endpoint("p", "ecu1")
+	prod.Offer("Gear", OfferOpts{})
+	if err := prod.EnableHistory("Gear", 2); err != nil {
+		t.Fatal(err)
+	}
+	prod.Publish("Gear", 1, nil)
+	prod.Publish("Gear", 1, nil)
+	r.k.Run()
+	cons := r.mw.Endpoint("c", "ecu1")
+	got := 0
+	if err := cons.SubscribeQoS("Gear", QoS{History: 2}, func(Event) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	cons.Unsubscribe("Gear") // before the history replay events fire
+	r.k.Run()
+	if got != 0 {
+		t.Errorf("history delivered %d samples after unsubscribe, want 0", got)
+	}
+	if r.mw.DeadLetters != 2 {
+		t.Errorf("DeadLetters = %d, want 2", r.mw.DeadLetters)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dynaplat/internal/network"
+	"dynaplat/internal/obs"
 	"dynaplat/internal/sim"
 )
 
@@ -79,8 +80,17 @@ type Middleware struct {
 	SeqGaps                int64
 	GapEventsRecovered     int64
 	GapEventsUnrecoverable int64
+	// DeadLetters counts deliveries dropped because the subscribing
+	// endpoint was unsubscribed or removed while the frame was in
+	// flight (dropped-with-account, never delivered to a dead
+	// subscriber).
+	DeadLetters int64
 
 	attachedStations map[string]bool
+
+	// o, when non-nil, receives metrics and publish→deliver spans
+	// (see SetObs). All uses are nil-checked.
+	o *obs.Obs
 
 	// Service-discovery state (see discovery.go).
 	sdToken   uint64
@@ -115,6 +125,13 @@ type service struct {
 	// reliable.go).
 	pubSeq uint32
 
+	// Cached observability instruments (created on first publish when
+	// the middleware has an obs plane; nil otherwise).
+	obsPub     *obs.Counter
+	obsDeliver *obs.Counter
+	obsDead    *obs.Counter
+	obsLat     *obs.Histogram
+
 	// served caches responses by session for idempotent retries
 	// (bounded FIFO; see retry.go).
 	served      map[uint32]servedResp
@@ -140,6 +157,21 @@ type subscription struct {
 	deadline       sim.Duration
 	lastRx         sim.Time
 	deadlineMisses int64
+	// superRef is the currently armed supervision timer; canceled when
+	// the subscription is dropped so no kernel event leaks.
+	superRef sim.EventRef
+	// gone marks the subscription as dropped (Unsubscribe /
+	// RemoveEndpoint). In-flight deliveries check it and dead-letter
+	// instead of invoking fn.
+	gone bool
+}
+
+// drop marks the subscription dead and cancels its supervision timer.
+func (s *subscription) drop() {
+	s.gone = true
+	if s.superRef.Pending() {
+		s.superRef.Cancel()
+	}
 }
 
 // Event is a delivered publication or stream frame.
@@ -221,6 +253,11 @@ func (m *Middleware) RemoveEndpoint(app string) {
 	delete(m.eps, app)
 	for name, svc := range m.svcs {
 		if svc.provider == ep {
+			// The whole service vanishes: every remaining subscription
+			// dies with it (supervision timers must not leak).
+			for _, s := range svc.subs {
+				s.drop()
+			}
 			delete(m.svcs, name)
 			continue
 		}
@@ -228,6 +265,8 @@ func (m *Middleware) RemoveEndpoint(app string) {
 		for _, s := range svc.subs {
 			if s.ep != ep {
 				kept = append(kept, s)
+			} else {
+				s.drop()
 			}
 		}
 		svc.subs = kept
@@ -363,6 +402,8 @@ func (e *Endpoint) Unsubscribe(iface string) {
 	for _, s := range svc.subs {
 		if s.ep != e {
 			kept = append(kept, s)
+		} else {
+			s.drop()
 		}
 	}
 	svc.subs = kept
@@ -388,6 +429,9 @@ func (e *Endpoint) publish(iface string, seq uint32, bytes int, payload any) {
 		return
 	}
 	now := e.m.k.Now()
+	if e.m.o != nil {
+		e.m.observePublish(svc, e)
+	}
 	if svc.historyDepth > 0 {
 		svc.history = append(svc.history, Event{
 			Iface: iface, Seq: seq, Bytes: bytes, Payload: payload, Published: now,
@@ -399,11 +443,56 @@ func (e *Endpoint) publish(iface string, seq uint32, bytes int, payload any) {
 	for _, sub := range svc.subs {
 		sub := sub
 		ev := Event{Iface: iface, Seq: seq, Bytes: bytes, Payload: payload, Published: now}
+		var sp obs.Span
+		if e.m.o != nil {
+			sp = e.m.o.T.Begin("soa", "deliver", "soa:"+iface, e.app+"->"+sub.ep.app)
+		}
 		e.m.transfer(svc, e, sub.ep, HeaderSize+bytes, func() {
+			if sub.gone {
+				// The subscriber was unsubscribed or removed while the
+				// frame was in flight: drop with account, never invoke a
+				// dead subscriber.
+				e.m.DeadLetters++
+				if svc.obsDead != nil {
+					svc.obsDead.Inc()
+				}
+				e.m.o.Tracer().End("soa", "deliver", "soa:"+iface, sp, "dead-letter")
+				e.m.k.Trace("soa", "dead-lettered %s event for removed %s", iface, sub.ep.app)
+				return
+			}
 			ev.Delivered = e.m.k.Now()
 			svc.Latency.AddDuration(ev.Latency())
+			if svc.obsDeliver != nil {
+				svc.obsDeliver.Inc()
+				svc.obsLat.Observe(ev.Latency())
+			}
+			e.m.o.Tracer().End("soa", "deliver", "soa:"+iface, sp, "")
 			sub.fn(ev)
 		})
+	}
+}
+
+// observePublish lazily wires the per-service instruments and counts one
+// publication. Only called when an obs plane is installed.
+func (m *Middleware) observePublish(svc *service, provider *Endpoint) {
+	if svc.obsPub == nil {
+		l := obs.Labels{Layer: "soa", ECU: provider.ecu, Iface: svc.name}
+		reg := m.o.Metrics()
+		svc.obsPub = reg.Counter("soa_publishes", l)
+		svc.obsDeliver = reg.Counter("soa_deliveries", l)
+		svc.obsDead = reg.Counter("soa_dead_letters", l)
+		svc.obsLat = reg.Histogram("soa_deliver_latency", l)
+	}
+	svc.obsPub.Inc()
+}
+
+// SetObs installs (or clears, with nil) the observability plane. Metrics
+// and spans are recorded only while a plane is installed; the disabled
+// path costs one nil check per operation.
+func (m *Middleware) SetObs(o *obs.Obs) {
+	m.o = o
+	for _, svc := range m.svcs {
+		svc.obsPub, svc.obsDeliver, svc.obsDead, svc.obsLat = nil, nil, nil, nil
 	}
 }
 

@@ -1,0 +1,46 @@
+package soa
+
+import (
+	"testing"
+
+	"dynaplat/internal/obs"
+	"dynaplat/internal/sim"
+)
+
+// Overhead of the observability hooks on the SOA publish→deliver path.
+//
+//	go test -run '^$' -bench 'BenchmarkPublishDeliver' -benchmem ./internal/soa/
+//
+// The hooks-disabled variant is the default production configuration:
+// every hook reduces to one nil check, so its numbers must track the
+// pre-observability baseline. The observed variant bounds its trace
+// (Cap) so the comparison measures hook cost, not slice growth.
+func benchPublishDeliver(b *testing.B, observed bool) {
+	k := sim.NewKernel(1)
+	mw := New(k, nil)
+	if observed {
+		o := obs.New(k)
+		o.T.Cap = 1 << 12
+		mw.SetObs(o)
+	}
+	prod := mw.Endpoint("p", "ecu1")
+	prod.Offer("Speed", OfferOpts{})
+	cons := mw.Endpoint("c", "ecu1")
+	if err := cons.Subscribe("Speed", func(Event) {}); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the kernel pool and the per-service instrument cache.
+	for i := 0; i < 64; i++ {
+		prod.Publish("Speed", 8, nil)
+	}
+	k.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prod.Publish("Speed", 8, nil)
+		k.Run()
+	}
+}
+
+func BenchmarkPublishDeliverHooksDisabled(b *testing.B) { benchPublishDeliver(b, false) }
+func BenchmarkPublishDeliverObserved(b *testing.B)     { benchPublishDeliver(b, true) }

@@ -3,6 +3,7 @@ package soa
 import (
 	"fmt"
 
+	"dynaplat/internal/obs"
 	"dynaplat/internal/sim"
 )
 
@@ -64,11 +65,16 @@ func (e *Endpoint) SubscribeQoS(iface string, qos QoS, fn func(Event)) error {
 			sub.lastRx = e.m.k.Now()
 			fn(ev)
 		}
-		e.superviseDeadline(iface, sub, qos)
 	}
 	sub.fn = wrapped
 	if err := e.subscribeExisting(iface, sub); err != nil {
 		return err
+	}
+	// Supervision starts only after the binding is authorized and
+	// installed — arming it earlier leaked a timer when authorization
+	// failed.
+	if qos.Deadline > 0 {
+		e.superviseDeadline(iface, sub, qos)
 	}
 	// Late-join history delivery.
 	if qos.History > 0 && svc.historyDepth > 0 {
@@ -79,6 +85,10 @@ func (e *Endpoint) SubscribeQoS(iface string, qos QoS, fn func(Event)) error {
 		for _, ev := range svc.history[len(svc.history)-n:] {
 			ev := ev
 			e.m.k.After(LocalDelay, func() {
+				if sub.gone {
+					e.m.DeadLetters++
+					return
+				}
 				ev.Delivered = e.m.k.Now()
 				wrapped(ev)
 			})
@@ -99,10 +109,18 @@ func (e *Endpoint) subscribeExisting(iface string, sub *subscription) error {
 }
 
 // superviseDeadline arms the periodic gap check for one subscription.
+// The armed timer is held in sub.superRef so Unsubscribe/RemoveEndpoint
+// can cancel it: previously the final pending timer outlived the
+// subscription (a leaked kernel event that fired once into a dead
+// check), so Kernel.Stats().QueueLive never returned to baseline.
 func (e *Endpoint) superviseDeadline(iface string, sub *subscription, qos QoS) {
 	var tick func()
 	tick = func() {
-		// Stop silently once the subscription is gone.
+		// Belt and braces: dropped subscriptions cancel superRef, but a
+		// concurrently-fired timer must still see the tombstone.
+		if sub.gone {
+			return
+		}
 		svc, ok := e.m.svcs[iface]
 		if !ok {
 			return
@@ -121,12 +139,17 @@ func (e *Endpoint) superviseDeadline(iface string, sub *subscription, qos QoS) {
 		if gap > sub.deadline {
 			sub.deadlineMisses++
 			e.m.QoSDeadlineMisses++
+			if e.m.o != nil {
+				e.m.o.M.Counter("soa_deadline_misses",
+					obs.Labels{Layer: "soa", ECU: e.ecu, Iface: iface}).Inc()
+				e.m.o.T.Instant("soa", "deadline-miss", "soa:"+iface, e.app)
+			}
 			if qos.OnDeadlineMiss != nil {
 				qos.OnDeadlineMiss(iface, gap)
 			}
 			sub.lastRx = e.m.k.Now() // re-arm, one miss per gap
 		}
-		e.m.k.After(sub.deadline, tick)
+		sub.superRef = e.m.k.After(sub.deadline, tick)
 	}
-	e.m.k.After(sub.deadline, tick)
+	sub.superRef = e.m.k.After(sub.deadline, tick)
 }

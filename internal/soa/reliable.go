@@ -21,6 +21,17 @@ func (e *Endpoint) PublishSeq(iface string, bytes int, payload any) uint32 {
 	if !ok {
 		panic(fmt.Sprintf("soa: %s publishes unoffered interface %s", e.app, iface))
 	}
+	if svc.provider != e {
+		// Stale provider during an update redirect: publish() drops the
+		// sample, so the interface's sequence counter must NOT advance.
+		// Burning sequence numbers here made the retained history
+		// non-consecutive, which late-joining reliable subscribers then
+		// misread as a wire gap (spurious re-requests). The stale
+		// publication is still routed through publish() so it is
+		// accounted in StalePublishes.
+		e.publish(iface, 0, bytes, payload)
+		return 0
+	}
 	seq := svc.pubSeq
 	svc.pubSeq++
 	e.publish(iface, seq, bytes, payload)
@@ -50,6 +61,17 @@ type ReliableSub struct {
 // on the returned ReliableSub and on the middleware counters.
 func (e *Endpoint) SubscribeReliable(iface string, qos QoS, reRequest bool, fn func(Event)) (*ReliableSub, error) {
 	rs := &ReliableSub{ep: e, iface: iface}
+	if svc, ok := e.m.svcs[iface]; ok {
+		// Anchor the expected sequence at subscription time. Historical
+		// samples delivered for a late join carry sequences below this
+		// anchor and are ignored by gap accounting (they are a courtesy
+		// replay, not a wire loss); previously the first history sample
+		// initialized the tracker and the jump to live traffic was
+		// misflagged as a gap whenever history was non-contiguous with
+		// the live stream.
+		rs.started = true
+		rs.expect = svc.pubSeq
+	}
 	wrapped := func(ev Event) {
 		if ev.Recovered {
 			fn(ev)

@@ -104,6 +104,8 @@ type Network struct {
 
 	// cbsTemplates are applied to egress ports created after EnableCBS.
 	cbsTemplates []CBSConfig
+
+	tap network.Tap
 }
 
 // New creates a TSN network on the kernel.
@@ -137,6 +139,10 @@ func New(k *sim.Kernel, cfg Config) *Network {
 // Name implements network.Network.
 func (n *Network) Name() string { return n.cfg.Name }
 
+// SetTap installs an observability tap; nil disables it. The untapped
+// path costs one nil check per frame event.
+func (n *Network) SetTap(t network.Tap) { n.tap = t }
+
 // Attach implements network.Network.
 func (n *Network) Attach(station string, rx network.Receiver) {
 	n.rx[station] = rx
@@ -162,6 +168,9 @@ func (n *Network) Send(msg network.Message) {
 		panic("tsn: negative payload size")
 	}
 	f := &frame{msg: msg, enqueued: n.k.Now()}
+	if n.tap != nil {
+		f.span = n.tap.FrameEnqueued(n.cfg.Name, &f.msg, f.enqueued)
+	}
 	up.enqueue(f, func() {
 		// Arrived at switch: fan out to egress port(s).
 		n.k.After(n.cfg.ProcDelay, func() { n.forward(f) })
@@ -173,6 +182,8 @@ func (n *Network) forward(f *frame) {
 		if eg, ok := n.egress[f.msg.Dst]; ok {
 			g := *f // copy so per-port completion doesn't alias
 			eg.enqueue(&g, func() { n.deliver(&g) })
+		} else if n.tap != nil {
+			n.tap.FrameLost(n.cfg.Name, f.span, &f.msg, "no-receiver", n.k.Now())
 		}
 		return
 	}
@@ -204,7 +215,12 @@ func (n *Network) deliver(f *frame) {
 	}
 	s.AddDuration(d.Latency())
 	if rx, ok := n.rx[f.msg.Dst]; ok && f.msg.Dst != "" {
+		if n.tap != nil {
+			n.tap.FrameDelivered(n.cfg.Name, f.span, &f.msg, f.msg.Dst, n.k.Now())
+		}
 		rx(d)
+	} else if n.tap != nil {
+		n.tap.FrameLost(n.cfg.Name, f.span, &f.msg, "no-receiver", n.k.Now())
 	}
 }
 
@@ -224,6 +240,7 @@ func (n *Network) txTime(bytes int) sim.Duration {
 type frame struct {
 	msg      network.Message
 	enqueued sim.Time
+	span     uint64 // observability span handle; copies inherit it
 	done     func()
 }
 
@@ -323,6 +340,9 @@ func (l *link) trySend() {
 		}
 		l.queues[q] = l.queues[q][1:]
 		l.cbsCharge(q, tx, l.n.cfg.BitsPerSecond)
+		if l.n.tap != nil {
+			l.n.tap.FrameTxStart(l.n.cfg.Name, f.span, now)
+		}
 		l.busy = true
 		l.n.k.After(tx, func() {
 			l.busy = false

@@ -6,8 +6,11 @@
 #   scripts/bench.sh            # full run
 #   BENCHTIME=2s scripts/bench.sh
 #
-# The JSON has two sections:
+# The JSON has three sections:
 #   kernel:      ns/op, B/op, allocs/op per micro-benchmark
+#   overhead:    SOA publish→deliver with observability hooks disabled
+#                vs. an enabled metrics/trace plane — hooks-disabled is
+#                the production default and must track the baseline
 #   experiments: holds (1|0) and ns/op per experiment benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,6 +22,9 @@ kernel_raw=$(go test -run '^$' \
   -bench 'BenchmarkScheduleFire|BenchmarkCancelHeavy|BenchmarkTickerHeavy|BenchmarkMixed|BenchmarkKernelScheduleRun' \
   -benchmem -benchtime "$BENCHTIME" ./internal/sim/)
 
+overhead_raw=$(go test -run '^$' -bench 'BenchmarkPublishDeliver' \
+  -benchmem -benchtime "$BENCHTIME" ./internal/soa/)
+
 exp_raw=$(go test -run '^$' -bench 'BenchmarkE[0-9]+' -benchtime 1x .)
 
 {
@@ -27,6 +33,22 @@ exp_raw=$(go test -run '^$' -bench 'BenchmarkE[0-9]+' -benchtime 1x .)
   echo "  \"go\": \"$(go version | awk '{print $3}')\","
   echo '  "kernel": ['
   echo "$kernel_raw" | awk '
+    /^Benchmark/ {
+      name=$1; sub(/-[0-9]+$/, "", name)
+      ns=""; bytes=""; allocs=""
+      for (i=2; i<=NF; i++) {
+        if ($i == "ns/op")     ns=$(i-1)
+        if ($i == "B/op")      bytes=$(i-1)
+        if ($i == "allocs/op") allocs=$(i-1)
+      }
+      line=sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                   name, ns==""?"null":ns, bytes==""?"null":bytes, allocs==""?"null":allocs)
+      lines[n++]=line
+    }
+    END { for (i=0; i<n; i++) printf "%s%s\n", lines[i], (i<n-1?",":"") }'
+  echo '  ],'
+  echo '  "overhead": ['
+  echo "$overhead_raw" | awk '
     /^Benchmark/ {
       name=$1; sub(/-[0-9]+$/, "", name)
       ns=""; bytes=""; allocs=""

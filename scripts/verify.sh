@@ -27,4 +27,11 @@ go test -race ./...
 echo "==> fault-campaign determinism soak (E21 x2)"
 go test -run TestFaultCampaignDeterministic -count=2 ./internal/experiments/
 
+# Observability determinism soak: the Chrome trace and metrics dump of
+# an observed E21 run must be byte-identical across runs and across
+# fresh processes (DESIGN.md §7). -count=2 re-runs the whole
+# double-comparison, so four observed sweeps are compared in total.
+echo "==> observed-trace determinism soak (x2)"
+go test -run TestObservedArtifactsByteIdentical -count=2 ./internal/experiments/
+
 echo "verify.sh: all green"
