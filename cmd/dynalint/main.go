@@ -1,0 +1,99 @@
+// Command dynalint is the driver for the determinism & lifecycle
+// static-analysis suite (internal/lint, DESIGN.md §8). It walks the
+// requested packages and enforces the platform's five contracts —
+// walltime, seededrand, maporder, nogoroutine, droppedref — with
+// vet-style file:line:col diagnostics and a non-zero exit on findings.
+//
+// Usage:
+//
+//	dynalint [flags] [packages]
+//
+//	dynalint ./...                      lint the whole module
+//	dynalint -checks walltime ./...     run a subset of checks
+//	dynalint -json ./internal/soa       machine-readable findings
+//	dynalint -list                      describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dynaplat/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dynalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the analyzers and their allowlist policy, then exit")
+	root := fs.String("root", ".", "module root (directory containing go.mod)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: dynalint [flags] [packages]\n")
+		fmt.Fprintf(stderr, "enforces the platform's determinism & lifecycle contracts (DESIGN.md §8)\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			if len(a.Exempt) > 0 {
+				fmt.Fprintf(stdout, "%-12s   exempt: %v\n", "", a.Exempt)
+			}
+		}
+		return 0
+	}
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "dynalint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(*root)
+	if err != nil {
+		fmt.Fprintln(stderr, "dynalint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "dynalint:", err)
+		return 2
+	}
+	diags := lint.RunSuite(analyzers, pkgs)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "dynalint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "dynalint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdirRepoRoot pins the working directory to the module root so
+// diagnostic paths in the golden file are stable.
+func chdirRepoRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join(wd, "..", "..")
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(wd) })
+}
+
+// TestEndToEndGolden runs the full driver over the analyzer fixtures
+// and diffs the diagnostics against a golden transcript: message
+// wording, positions, ordering, and the summary line are all pinned.
+func TestEndToEndGolden(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"internal/lint/testdata/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixtures contain findings); stderr: %s", code, stderr.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("cmd", "dynalint", "testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stdout.String(), string(golden); got != want {
+		t.Errorf("output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestJSONOutput checks -json emits a machine-readable array that
+// agrees with the text run.
+func TestJSONOutput(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "internal/lint/testdata/walltime"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	for _, d := range diags {
+		if d.Check != "walltime" && d.Check != "allow" {
+			t.Errorf("unexpected check %q in walltime fixture", d.Check)
+		}
+		if d.File == "" || d.Line == 0 {
+			t.Errorf("missing position in %+v", d)
+		}
+	}
+}
+
+// TestChecksSubset: -checks restricts the suite; the seededrand fixture
+// is clean under walltime alone.
+func TestChecksSubset(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-checks", "walltime", "internal/lint/testdata/seededrand"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; out: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no output, got %s", stdout.String())
+	}
+}
+
+// TestListAndUsage covers -list and the usage-error exit code.
+func TestListAndUsage(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"walltime", "seededrand", "maporder", "nogoroutine", "droppedref"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+	stdout.Reset()
+	if code := run([]string{"-checks", "bogus", "./internal/sim"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown check exit = %d, want 2", code)
+	}
+	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad pattern exit = %d, want 2", code)
+	}
+}
+
+// TestCleanPackage: a real, contract-clean package exits 0.
+func TestCleanPackage(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./internal/sim"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("internal/sim should be clean; exit %d, out: %s", code, stdout.String())
+	}
+}

@@ -13,13 +13,16 @@
 // Usage:
 //
 //	secanalyze graph.txt                      print exploitability ranking
-//	secanalyze graph.txt -harden A,B,0.05     what-if: harden edge A→B
+//	secanalyze -harden A,B,0.05 graph.txt     what-if: harden edge A→B
+//
+// Exit status: 0 success, 1 analysis error, 2 usage or input error.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -28,23 +31,36 @@ import (
 )
 
 func main() {
-	harden := flag.String("harden", "", "what-if hardening: from,to,newP")
-	asset := flag.String("asset", "", "asset for the what-if query (default: most exposed)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: secanalyze [flags] <graph.txt>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("secanalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	harden := fs.String("harden", "", "what-if hardening: from,to,newP")
+	asset := fs.String("asset", "", "asset for the what-if query (default: most exposed)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: secanalyze [flags] <graph.txt>\n")
+		fmt.Fprintf(stderr, "probabilistic exploit-graph analysis; graph lines: 'node <name> [entry]' / 'edge <from> <to> <p>'\n\n")
+		fs.PrintDefaults()
 	}
-	g, err := parseGraph(flag.Arg(0))
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	g, err := parseGraph(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "secanalyze:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "secanalyze:", err)
+		return 2
 	}
 	res := g.Exploitability()
 	rank := res.Rank()
-	fmt.Println("exploitability ranking:")
+	fmt.Fprintln(stdout, "exploitability ranking:")
 	for _, r := range rank {
-		fmt.Printf("  %-20s %.4f\n", r.Asset, r.P)
+		fmt.Fprintf(stdout, "  %-20s %.4f\n", r.Asset, r.P)
 	}
 	// Most probable attack chain against the most exposed non-entry asset.
 	for _, r := range rank {
@@ -52,22 +68,23 @@ func main() {
 			continue
 		}
 		if p, ok := g.MostProbablePath(r.Asset); ok {
-			fmt.Printf("most probable attack on %s: %s\n", r.Asset, p)
+			fmt.Fprintf(stdout, "most probable attack on %s: %s\n", r.Asset, p)
 		}
 		break
 	}
 	if *harden == "" {
-		return
+		return 0
 	}
 	parts := strings.Split(*harden, ",")
 	if len(parts) != 3 {
-		fmt.Fprintln(os.Stderr, "secanalyze: -harden wants from,to,newP")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "secanalyze: -harden wants from,to,newP")
+		fs.Usage()
+		return 2
 	}
 	p, err := strconv.ParseFloat(parts[2], 64)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "secanalyze: bad probability:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "secanalyze: bad probability:", err)
+		return 2
 	}
 	target := *asset
 	if target == "" {
@@ -85,11 +102,12 @@ func main() {
 	}
 	after, err := g.CutEffect(parts[0], parts[1], p, target)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "secanalyze:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "secanalyze:", err)
+		return 1
 	}
-	fmt.Printf("hardening %s→%s to %.3f: P(%s) %.4f → %.4f\n",
+	fmt.Fprintf(stdout, "hardening %s→%s to %.3f: P(%s) %.4f → %.4f\n",
 		parts[0], parts[1], p, target, res.Of(target), after)
+	return 0
 }
 
 func parseGraph(path string) (*analysis.Graph, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -50,5 +51,69 @@ func TestParseGraphErrors(t *testing.T) {
 	}
 	if _, err := parseGraph(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+const smokeGraph = `
+node telematics entry
+node gateway
+node brake
+edge telematics gateway 0.2
+edge gateway brake 0.3
+`
+
+// TestRunSmoke drives the whole CLI through run(): ranking output,
+// what-if hardening, and every exit-code path.
+func TestRunSmoke(t *testing.T) {
+	p := writeGraph(t, smokeGraph)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{p}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"exploitability ranking:", "telematics", "gateway", "brake", "most probable attack"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunHarden(t *testing.T) {
+	p := writeGraph(t, smokeGraph)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-harden", "telematics,gateway,0.05", p}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "hardening telematics→gateway to 0.050") {
+		t.Errorf("missing hardening line:\n%s", stdout.String())
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	p := writeGraph(t, smokeGraph)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args prints usage", nil, 2},
+		{"two positionals", []string{p, p}, 2},
+		{"missing graph file", []string{filepath.Join(t.TempDir(), "nope.txt")}, 2},
+		{"bad flag", []string{"-frobnicate", p}, 2},
+		{"malformed harden", []string{"-harden", "a,b", p}, 2},
+		{"bad harden probability", []string{"-harden", "a,b,NaNope", p}, 2},
+		{"unknown harden edge", []string{"-harden", "nope,gateway,0.1", p}, 1},
+	}
+	for _, c := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(c.args, &stdout, &stderr); code != c.want {
+			t.Errorf("%s: exit = %d, want %d (stderr: %s)", c.name, code, c.want, stderr.String())
+		}
+	}
+	// Usage goes to stderr and is non-empty.
+	var stdout, stderr bytes.Buffer
+	run(nil, &stdout, &stderr)
+	if !strings.Contains(stderr.String(), "usage: secanalyze") {
+		t.Errorf("usage not printed on no-args: %s", stderr.String())
 	}
 }

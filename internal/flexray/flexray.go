@@ -64,6 +64,9 @@ type Bus struct {
 	dynamicQ  []*queued
 	seq       uint64
 	started   bool
+	// ticker drives the cyclic schedule; held so Stop can tear the bus
+	// down instead of ticking forever (dynalint droppedref).
+	ticker *sim.Ticker
 
 	// Stats
 	StaticSent  int64
@@ -171,7 +174,19 @@ func (b *Bus) start() {
 	// Align to the next cycle boundary.
 	now := b.k.Now()
 	next := (sim.Duration(now) + cycle - 1) / cycle * cycle
-	b.k.Every(sim.Time(next), cycle, b.runCycle)
+	b.ticker = b.k.Every(sim.Time(next), cycle, b.runCycle)
+}
+
+// Stop halts the cyclic schedule. Frames already slotted into the
+// current cycle still deliver; no further cycles run. A later Send
+// restarts the schedule at the next cycle boundary.
+func (b *Bus) Stop() {
+	if !b.started {
+		return
+	}
+	b.started = false
+	b.ticker.Stop()
+	b.ticker = nil
 }
 
 // runCycle executes one communication cycle starting now.

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const simPath = "dynaplat/internal/sim"
+
+// DroppedrefAnalyzer enforces the timer-lifecycle contract: a
+// cancelable handle returned by a ScheduleAt-style API must not be
+// discarded by lifecycle-managing code. This is the PR 3 bug class
+// caught at compile time: the QoS deadline-supervision timer was armed
+// with a named self-re-arming handler and its sim.EventRef dropped, so
+// Unsubscribe/RemoveEndpoint had nothing to cancel and the final
+// pending timer leaked past the subscription's death.
+//
+// Two shapes are flagged:
+//
+//  1. a discarded sim.EventRef whose handler is a durable named
+//     function (a local closure variable like the supervision `tick`,
+//     or a method value) — the recurring-supervision shape, where the
+//     handle is the only way to tear the timer down. Inline func
+//     literals (one-shot continuations) and caller-supplied function
+//     parameters (continuation-passing style: the caller owns the
+//     lifecycle) are not flagged;
+//  2. a discarded *sim.Ticker — always flagged: a ticker re-arms
+//     itself forever, so dropping the handle makes it unstoppable.
+//
+// Explicitly discarding with `_ =` is flagged the same way; a genuine
+// fire-and-forget needs a //dynalint:allow droppedref with its reason.
+func DroppedrefAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "droppedref",
+		Doc:  "no discarding cancelable EventRef/Ticker handles in lifecycle-managing code; store them so teardown can cancel",
+		Exempt: []string{
+			"dynaplat/internal/experiments", // straight-line experiment programs run to completion
+			"dynaplat/cmd",                  // CLI front-ends
+			"dynaplat/examples",             // demo mains run to completion
+		},
+		Run: runDroppedref,
+	}
+}
+
+func runDroppedref(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		params := paramObjects(pkg, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if c, ok := s.X.(*ast.CallExpr); ok {
+					call = c
+				}
+			case *ast.AssignStmt:
+				// `_ = k.After(...)` — an explicit discard is still a
+				// discard.
+				if len(s.Rhs) != 1 || !allBlank(s.Lhs) {
+					return true
+				}
+				if c, ok := s.Rhs[0].(*ast.CallExpr); ok {
+					call = c
+				}
+			}
+			if call == nil {
+				return true
+			}
+			tv, ok := pkg.Info.Types[call]
+			if !ok {
+				return true
+			}
+			switch {
+			case namedFrom(tv.Type, simPath, "Ticker"):
+				out = append(out, pkg.diag("droppedref", call.Pos(),
+					"*sim.Ticker returned by %s is discarded: the ticker re-arms forever and nothing can Stop it; store the handle in a field", calleeName(call)))
+			case namedFrom(tv.Type, simPath, "EventRef"):
+				h := handlerArg(pkg, call)
+				if h == nil {
+					return true
+				}
+				switch he := h.(type) {
+				case *ast.FuncLit:
+					// One-shot inline continuation: nothing durable to
+					// cancel.
+				case *ast.Ident:
+					if params[pkg.Info.Uses[he]] {
+						// Caller-supplied continuation: the caller owns
+						// the lifecycle.
+						return true
+					}
+					out = append(out, diagDurable(pkg, call, he.Name))
+				default:
+					out = append(out, diagDurable(pkg, call, exprString(h)))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func diagDurable(pkg *Package, call *ast.CallExpr, handler string) Diagnostic {
+	return pkg.diag("droppedref", call.Pos(),
+		"sim.EventRef from %s is discarded but handler %q is a durable named function (the PR 3 deadline-supervision leak shape); store the ref in a cancelable field so teardown can Cancel it",
+		calleeName(call), handler)
+}
+
+// handlerArg returns the last argument with a function type, i.e. the
+// scheduled handler.
+func handlerArg(pkg *Package, call *ast.CallExpr) ast.Expr {
+	for i := len(call.Args) - 1; i >= 0; i-- {
+		tv, ok := pkg.Info.Types[call.Args[i]]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isFunc := tv.Type.Underlying().(*types.Signature); isFunc {
+			return call.Args[i]
+		}
+	}
+	return nil
+}
+
+// paramObjects collects the type objects of every function parameter
+// declared in the file, so continuation-passing handlers can be
+// recognized.
+func paramObjects(pkg *Package, f *ast.File) map[types.Object]bool {
+	set := map[types.Object]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					set[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			addFields(fn.Type.Params)
+		case *ast.FuncLit:
+			addFields(fn.Type.Params)
+		}
+		return true
+	})
+	return set
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// calleeName renders the called expression for diagnostics (k.After,
+// e.m.k.After, ...).
+func calleeName(call *ast.CallExpr) string { return exprString(call.Fun) }
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,249 @@
+// Package lint is dynalint: a static-analysis suite that mechanically
+// enforces the platform's determinism and lifecycle contracts
+// (DESIGN.md §8). The simulator's whole value proposition — byte-
+// identical fault campaigns and observed traces per seed — rests on
+// invariants that ordinary Go tooling cannot see: simulation code must
+// run on virtual time, randomness must flow through the seeded kernel
+// RNG, ordered output must never depend on Go's randomized map
+// iteration, kernel-callback packages must stay single-threaded, and
+// cancelable timer handles must not be dropped by lifecycle-managing
+// code. Each invariant is one analyzer; violating any of them is a
+// build failure via cmd/dynalint wired into scripts/verify.sh.
+//
+// The suite is stdlib-only (go/ast, go/parser, go/types, go/importer):
+// go.mod stays dependency-free.
+//
+// # Suppressions
+//
+// Every exception must be auditable. A finding is suppressed by a
+//
+//	//dynalint:allow <check> <reason>
+//
+// comment on the flagged line or the line directly above it. The
+// reason is mandatory: an allow comment without one does not suppress
+// (and is itself reported), so `grep -rn dynalint:allow` always yields
+// a complete, justified exception inventory.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, in vet style.
+type Diagnostic struct {
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	Check   string         `json:"check"`
+	Message string         `json:"message"`
+}
+
+// String renders the finding as file:line:col: [check] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string // check name used by -checks and //dynalint:allow
+	Doc  string // one-line description of the protected invariant
+	// Exempt lists import-path prefixes the check does not apply to
+	// (the allowlist policy; see DESIGN.md §8).
+	Exempt []string
+	// Run inspects one type-checked package and returns raw findings
+	// (suppression filtering happens in the driver).
+	Run func(*Package) []Diagnostic
+}
+
+// Exempted reports whether the analyzer skips the given import path.
+func (a *Analyzer) Exempted(path string) bool {
+	for _, p := range a.Exempt {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WalltimeAnalyzer(),
+		SeededrandAnalyzer(),
+		MaporderAnalyzer(),
+		NogoroutineAnalyzer(),
+		DroppedrefAnalyzer(),
+	}
+}
+
+// ByName resolves a comma-separated -checks list against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (use -list)", n)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-checks selected no analyzers")
+	}
+	return out, nil
+}
+
+// RunSuite applies the analyzers to every package, filters suppressed
+// findings via //dynalint:allow comments, and returns the remaining
+// diagnostics sorted by position. Malformed allow comments (missing
+// reason, unknown check name) are themselves reported.
+func RunSuite(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup, bad := collectAllows(pkg, known)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			if a.Exempted(pkg.Path) {
+				continue
+			}
+			for _, d := range a.Run(pkg) {
+				if sup.allows(a.Name, d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// diag builds a Diagnostic for the node position.
+func (p *Package) diag(check string, pos token.Pos, format string, args ...any) Diagnostic {
+	position := p.Fset.Position(pos)
+	return Diagnostic{
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// suppressions maps file → line → set of allowed check names. An allow
+// comment covers its own line and the line directly below it, so both
+//
+//	k.After(d, tick) //dynalint:allow droppedref bounded poll
+//
+// and
+//
+//	//dynalint:allow droppedref bounded poll
+//	k.After(d, tick)
+//
+// work.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) allows(check string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][check]
+}
+
+const allowPrefix = "//dynalint:allow"
+
+// collectAllows scans every comment in the package for allow directives.
+// It returns the suppression table plus diagnostics for malformed
+// directives (so a reason-less allow fails the build rather than
+// silently widening the exception).
+func collectAllows(pkg *Package, known map[string]bool) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) == 0 || !known[fields[0]] {
+					bad = append(bad, pkg.diag("allow", c.Pos(),
+						"malformed %s: first word must be a check name", allowPrefix))
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, pkg.diag("allow", c.Pos(),
+						"%s %s needs a reason: every exception must be auditable", allowPrefix, fields[0]))
+					continue
+				}
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = map[string]bool{}
+					}
+					lines[ln][fields[0]] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// importName returns the local name a file binds the given import path
+// to, or "" when the file does not import it. A dot import returns ".".
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		base := path
+		if i := strings.LastIndex(base, "/"); i >= 0 {
+			base = base[i+1:]
+		}
+		return base
+	}
+	return ""
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NogoroutineAnalyzer enforces the single-threaded kernel contract: a
+// sim.Kernel is driven from exactly one goroutine, and every subsystem
+// (bus simulators, platform, SOA, faults) executes inside kernel event
+// callbacks. A `go` statement, channel operation, or sync primitive in
+// those packages either races the kernel or — worse — introduces
+// wall-clock-dependent interleaving that silently breaks per-seed
+// reproducibility while passing single-run tests. Concurrency is the
+// business of the approved parallel harness (internal/experiments runs
+// one kernel per worker goroutine) and of cmd/ front-ends.
+func NogoroutineAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "nogoroutine",
+		Doc:  "no go statements, channel ops, select, or sync primitives in single-threaded kernel-callback packages",
+		Exempt: []string{
+			"dynaplat/internal/experiments", // approved parallel harness: one kernel per worker
+			"dynaplat/cmd",                  // CLI front-ends drive the harness
+		},
+		Run: runNogoroutine,
+	}
+}
+
+func runNogoroutine(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	const hint = "kernel-callback packages are single-threaded (one kernel per goroutine); move concurrency to internal/experiments or cmd/"
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "sync" || path == "sync/atomic" {
+				out = append(out, pkg.diag("nogoroutine", imp.Pos(),
+					"import of %s: %s", path, hint))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				out = append(out, pkg.diag("nogoroutine", s.Pos(),
+					"go statement: %s", hint))
+			case *ast.SendStmt:
+				out = append(out, pkg.diag("nogoroutine", s.Pos(),
+					"channel send: %s", hint))
+			case *ast.UnaryExpr:
+				if s.Op.String() == "<-" {
+					out = append(out, pkg.diag("nogoroutine", s.Pos(),
+						"channel receive: %s", hint))
+				}
+			case *ast.SelectStmt:
+				out = append(out, pkg.diag("nogoroutine", s.Pos(),
+					"select statement: %s", hint))
+			}
+			return true
+		})
+	}
+	return out
+}

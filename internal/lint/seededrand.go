@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"strings"
+)
+
+// randPackages are sources of nondeterministic (or
+// cross-version-unstable) randomness. math/rand's global functions
+// draw from a process-wide, lock-shared source; math/rand/v2's stream
+// is unspecified across Go versions; crypto/rand is nondeterministic
+// by design. Any of them in simulation, SOA, or fault paths breaks the
+// byte-identical-per-seed contract.
+var randPackages = []string{
+	"math/rand",
+	"math/rand/v2",
+	"crypto/rand",
+}
+
+// SeededrandAnalyzer enforces the seeded-randomness contract: all
+// randomness flows through the deterministic, splittable sim.RNG
+// (xoshiro256** seeded from the campaign/experiment seed), never
+// through math/rand or crypto/rand. The import itself is flagged — the
+// contract is structural, not call-site-by-call-site: once the package
+// is imported, a later edit can reach the global source without any
+// new import line to review.
+func SeededrandAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "seededrand",
+		Doc:  "no math/rand or crypto/rand; all randomness flows through the seeded sim.RNG",
+		// internal/sim hosts the deterministic RNG implementation and
+		// is the one place allowed to reference stdlib rand (e.g. to
+		// adapt it behind determinism tests).
+		Exempt: []string{
+			"dynaplat/internal/sim",
+		},
+		Run: runSeededrand,
+	}
+}
+
+func runSeededrand(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, banned := range randPackages {
+				if path == banned {
+					out = append(out, pkg.diag("seededrand", imp.Pos(),
+						"import of %s: randomness must flow through the seeded sim.RNG (Kernel.RNG or RNG.Split)", path))
+				}
+			}
+		}
+	}
+	return out
+}

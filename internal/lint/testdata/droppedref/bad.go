@@ -1,0 +1,18 @@
+package fixture
+
+import "dynaplat/internal/sim"
+
+// cyclicBad drives a recurring schedule through a method value and
+// drops both handles: the ticker can never be stopped, and the method
+// value is a durable handler whose ref teardown would need.
+type cyclicBad struct{ k *sim.Kernel }
+
+func (c *cyclicBad) start() {
+	c.k.Every(0, sim.Millisecond, c.cycle)               // want:droppedref
+	c.k.After(sim.Millisecond, c.cycle)                  // want:droppedref
+	_ = c.k.Every(0, sim.Second, func() {})              // want:droppedref
+	c.k.AfterPriority(0, sim.PriorityClock, c.cycle)     // want:droppedref
+	c.k.AtPriority(c.k.Now(), sim.PriorityLate, c.cycle) // want:droppedref
+}
+
+func (c *cyclicBad) cycle() {}

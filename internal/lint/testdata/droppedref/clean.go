@@ -1,0 +1,34 @@
+package fixture
+
+import "dynaplat/internal/sim"
+
+// oneShot schedules an inline literal: a one-shot continuation with
+// nothing durable to cancel. Clean by design.
+func oneShot(k *sim.Kernel) {
+	k.After(sim.Millisecond, func() {})
+}
+
+// continuation passes a caller-supplied done callback: the caller owns
+// the lifecycle (continuation-passing style). Clean.
+func continuation(k *sim.Kernel, done func()) {
+	k.At(k.Now().Add(sim.Millisecond), done)
+}
+
+// cyclicClean stores both handles so teardown can stop them.
+type cyclicClean struct {
+	k      *sim.Kernel
+	ticker *sim.Ticker
+	ref    sim.EventRef
+}
+
+func (c *cyclicClean) start() {
+	c.ticker = c.k.Every(0, sim.Millisecond, c.cycle)
+	c.ref = c.k.After(sim.Second, c.cycle)
+}
+
+func (c *cyclicClean) stop() {
+	c.ticker.Stop()
+	c.ref.Cancel()
+}
+
+func (c *cyclicClean) cycle() {}

@@ -1,0 +1,49 @@
+// Package fixture holds droppedref cases. This file is the PR 3
+// regression fixture: it reproduces the QoS deadline-supervision
+// timer-leak shape exactly as it existed pre-fix in internal/soa —
+// proving the droppedref check would have caught the bug at build time.
+package fixture
+
+import "dynaplat/internal/sim"
+
+// subscription mirrors the soa subscription: a tombstone flag, a
+// deadline, and (post-fix) a cancelable ref to the supervision timer.
+type subscription struct {
+	gone     bool
+	deadline sim.Duration
+	superRef sim.EventRef
+}
+
+// superviseLeak is the pre-fix PR 3 bug: the self-re-arming deadline
+// check is scheduled with a named handler and the EventRef dropped, so
+// Unsubscribe/RemoveEndpoint had nothing to cancel — the final pending
+// timer outlived the subscription and fired once into a dead check.
+func superviseLeak(k *sim.Kernel, sub *subscription) {
+	var tick func()
+	tick = func() {
+		if sub.gone {
+			return
+		}
+		k.After(sub.deadline, tick) // want:droppedref
+	}
+	k.After(sub.deadline, tick) // want:droppedref
+}
+
+// superviseFixed is the shipped fix: every arm stores the ref in the
+// subscription, so teardown can Cancel it. Clean.
+func superviseFixed(k *sim.Kernel, sub *subscription) {
+	var tick func()
+	tick = func() {
+		if sub.gone {
+			return
+		}
+		sub.superRef = k.After(sub.deadline, tick)
+	}
+	sub.superRef = k.After(sub.deadline, tick)
+}
+
+// unsubscribe is the teardown that needs the stored ref.
+func unsubscribe(sub *subscription) {
+	sub.gone = true
+	sub.superRef.Cancel()
+}

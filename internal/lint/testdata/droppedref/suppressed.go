@@ -1,0 +1,19 @@
+package fixture
+
+import "dynaplat/internal/sim"
+
+// boundedPoll self-terminates after three rounds: there is genuinely
+// nothing to tear down, and the exception says so.
+func boundedPoll(k *sim.Kernel, probe func() bool) {
+	n := 0
+	var poll func()
+	poll = func() {
+		n++
+		if n > 3 || probe() {
+			return
+		}
+		//dynalint:allow droppedref fixture: bounded self-terminating poll, no teardown path exists
+		k.After(sim.Millisecond, poll)
+	}
+	poll()
+}

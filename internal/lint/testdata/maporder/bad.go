@@ -1,0 +1,43 @@
+// Package fixture holds maporder true positives: ordered output derived
+// from randomized map iteration — the exact hazard behind the
+// byte-stable trace/metrics dump contract.
+package fixture
+
+import (
+	"fmt"
+	"strings"
+
+	"dynaplat/internal/sim"
+)
+
+// DumpBad emits key=value lines in randomized map order: two runs of
+// the same simulation produce different bytes.
+func DumpBad(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v) // want:maporder
+	}
+}
+
+// KeysBad accumulates map keys into a slice that escapes unsorted.
+func KeysBad(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want:maporder
+	}
+	return keys
+}
+
+// SinkBad feeds an ordered sink method directly.
+func SinkBad(m map[string]bool, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want:maporder
+	}
+}
+
+// ScheduleBad hands out kernel event sequence numbers in map order:
+// same-instant tie-breaking becomes nondeterministic.
+func ScheduleBad(k *sim.Kernel, offsets map[string]sim.Duration) {
+	for _, d := range offsets {
+		k.After(d, func() {}) // want:maporder
+	}
+}

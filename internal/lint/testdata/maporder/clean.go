@@ -1,0 +1,46 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DumpClean is the approved shape: collect keys, sort, then emit. The
+// collection loop appends without a sink, and the sort directly follows
+// it in the same block.
+func DumpClean(m map[string]int, sb *strings.Builder) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(sb, "%s=%d\n", k, m[k])
+	}
+}
+
+// FilterClean shows a loop-local accumulator: declared inside the range
+// body, it is reset every iteration, so map order cannot leak into it.
+func FilterClean(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var picked []int
+		for _, v := range vs {
+			if v > 0 {
+				picked = append(picked, v)
+			}
+		}
+		total += len(picked)
+	}
+	return total
+}
+
+// SumClean is order-independent accumulation: no ordered sink involved.
+func SumClean(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

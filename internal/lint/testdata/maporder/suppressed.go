@@ -1,0 +1,12 @@
+package fixture
+
+import "strings"
+
+// DebugDump is an explicitly order-insensitive sink (a human-eyes-only
+// scratch dump whose consumer sorts lines itself) — audited via allow.
+func DebugDump(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		//dynalint:allow maporder fixture: scratch debug dump, consumer sorts lines before diffing
+		sb.WriteString(k)
+	}
+}

@@ -1,0 +1,28 @@
+// Package fixture holds nogoroutine true positives: concurrency inside
+// what is meant to be single-threaded kernel-callback code.
+package fixture
+
+import "sync" // want:nogoroutine
+
+// FanOutBad races the kernel: handlers must never spawn goroutines or
+// block on channels.
+func FanOutBad(work []func()) int {
+	var wg sync.WaitGroup
+	results := make(chan int, len(work))
+	for _, w := range work {
+		w := w
+		wg.Add(1)
+		go func() { // want:nogoroutine
+			defer wg.Done()
+			w()
+			results <- 1 // want:nogoroutine
+		}()
+	}
+	wg.Wait()
+	return <-results // want:nogoroutine
+}
+
+// ParkBad blocks the kernel goroutine forever.
+func ParkBad() {
+	select {} // want:nogoroutine
+}

@@ -1,0 +1,14 @@
+package fixture
+
+import "dynaplat/internal/sim"
+
+// StepClean is the approved shape: straight-line event-callback code.
+// Concurrency belongs to the experiment harness, which runs one kernel
+// per worker goroutine — never inside kernel callbacks.
+func StepClean(k *sim.Kernel, n int, work func(int)) {
+	for i := 0; i < n; i++ {
+		i := i
+		k.After(sim.Duration(i)*sim.Millisecond, func() { work(i) })
+	}
+	k.Run()
+}

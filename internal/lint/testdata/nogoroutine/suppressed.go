@@ -1,0 +1,20 @@
+package fixture
+
+// PreloadBad-looking-but-audited: a one-time parallel preload that runs
+// strictly before any kernel starts, with the exception documented.
+func Preload(load []func()) {
+	done := make(chan struct{}, len(load))
+	for _, f := range load {
+		f := f
+		//dynalint:allow nogoroutine fixture: one-time preload completes before any kernel starts
+		go func() {
+			f()
+			//dynalint:allow nogoroutine fixture: one-time preload completes before any kernel starts
+			done <- struct{}{}
+		}()
+	}
+	for range load {
+		//dynalint:allow nogoroutine fixture: one-time preload completes before any kernel starts
+		<-done
+	}
+}

@@ -1,0 +1,20 @@
+// Package fixture holds seededrand true positives: stdlib randomness in
+// simulation-style code, which breaks the byte-identical-per-seed
+// contract.
+package fixture
+
+import (
+	crand "crypto/rand" // want:seededrand
+	"math/rand"         // want:seededrand
+)
+
+// JitterBad draws from the process-global, lock-shared math/rand source:
+// the stream depends on every other draw in the process.
+func JitterBad(n int) int { return rand.Intn(n) }
+
+// NonceBad is nondeterministic by design — never in a simulation path.
+func NonceBad() ([]byte, error) {
+	b := make([]byte, 8)
+	_, err := crand.Read(b)
+	return b, err
+}

@@ -1,0 +1,11 @@
+package fixture
+
+import "dynaplat/internal/sim"
+
+// JitterClean draws from the deterministic, splittable kernel RNG: the
+// approved source for every random decision in simulation code.
+func JitterClean(rng *sim.RNG, n int) int { return rng.Intn(n) }
+
+// SubsystemStream gives a subsystem its own independent stream so draws
+// in one subsystem never shift the sequence seen by another.
+func SubsystemStream(k *sim.Kernel) *sim.RNG { return k.RNG().Split() }

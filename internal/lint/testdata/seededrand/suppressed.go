@@ -1,0 +1,12 @@
+package fixture
+
+// An audited exception: a tool-only code path that explicitly does not
+// participate in seeded reproduction (e.g. generating an opaque ID for
+// a report file name).
+import (
+	//dynalint:allow seededrand fixture: report-file nonce only, never feeds a simulation
+	"math/rand"
+)
+
+// ReportTag names an output artifact; the value never enters a kernel.
+func ReportTag() int64 { return rand.Int63() }

@@ -1,0 +1,27 @@
+// Package fixture holds walltime true positives: simulation-style code
+// that consults the wall clock, the canonical determinism violation.
+package fixture
+
+import "time"
+
+// StepBad is a control step timed against the wall clock.
+func StepBad() time.Duration {
+	start := time.Now()          // want:walltime
+	time.Sleep(time.Millisecond) // want:walltime
+	return time.Since(start)     // want:walltime
+}
+
+// ArmBad arms OS timers instead of kernel virtual-time events.
+func ArmBad() {
+	t := time.NewTimer(time.Second)   // want:walltime
+	tk := time.NewTicker(time.Second) // want:walltime
+	_ = t
+	tk.Stop()
+}
+
+// NoReason demonstrates that an allow comment without a reason does not
+// suppress — and is itself reported, so the exception inventory stays
+// auditable.
+func NoReason() time.Time {
+	return time.Now() /* want:allow want:walltime */ //dynalint:allow walltime
+}

@@ -1,0 +1,13 @@
+package fixture
+
+import "time"
+
+// Pure duration arithmetic, constants, parsing, and formatting are
+// values — they cannot perturb virtual-time ordering and are allowed.
+const tick = 10 * time.Millisecond
+
+// Budget converts a step count to a wall-duration value for reporting.
+func Budget(n int) time.Duration { return time.Duration(n) * tick }
+
+// Parse round-trips a human-readable duration.
+func Parse(s string) (time.Duration, error) { return time.ParseDuration(s) }

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isPkgName reports whether id resolves to an imported package name.
+func isPkgName(pkg *Package, id *ast.Ident) bool {
+	_, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok
+}
+
+// namedFrom reports whether t (or its pointee) is the named type
+// pkgPath.name, e.g. ("dynaplat/internal/sim", "EventRef").
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// enclosingBlockAfter returns the statements that follow stmt inside
+// its enclosing block in file f, or nil when stmt is not directly
+// inside a block. Used by maporder to look for a post-loop sort.
+func enclosingBlockAfter(f *ast.File, stmt ast.Stmt) []ast.Stmt {
+	var rest []ast.Stmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if rest != nil {
+			return false
+		}
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			if s == stmt {
+				rest = list[i+1:]
+				if rest == nil {
+					rest = []ast.Stmt{}
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return rest
+}

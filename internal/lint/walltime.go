@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallFuncs are the package-level time functions that read or react to
+// the wall clock. time.Duration arithmetic, constants, and parsing are
+// deliberately not listed: they are pure values and cannot perturb
+// virtual-time ordering.
+var wallFuncs = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the wall clock",
+	"After":     "arms a wall-clock timer",
+	"AfterFunc": "arms a wall-clock timer",
+	"Tick":      "arms a wall-clock ticker",
+	"NewTicker": "arms a wall-clock ticker",
+	"NewTimer":  "arms a wall-clock timer",
+}
+
+// WalltimeAnalyzer enforces the virtual-time contract: simulation code
+// must never consult the wall clock. Two runs with the same seed are
+// bit-identical only because event ordering is a pure function of
+// virtual time (sim.Kernel); a single time.Now or time.Sleep makes
+// results depend on GC pauses and machine load. Wall time is allowed
+// only in cmd/ (harness/CLI timing around a run, never inside one).
+func WalltimeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "walltime",
+		Doc:  "no wall-clock time (time.Now/Sleep/After/...) outside the cmd/ harness; simulation code runs on kernel virtual time",
+		Exempt: []string{
+			"dynaplat/cmd", // harness timing around whole runs
+		},
+		Run: runWalltime,
+	}
+}
+
+func runWalltime(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		name := importName(f, "time")
+		if name == "" {
+			continue
+		}
+		if name == "." {
+			// Dot import makes every wall-clock function an unqualified
+			// call; flag the import itself.
+			for _, imp := range f.Imports {
+				if imp.Path.Value == `"time"` {
+					out = append(out, pkg.diag("walltime", imp.Pos(),
+						`dot-import of "time" hides wall-clock calls; import it qualified or use sim virtual time`))
+				}
+			}
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != name {
+				return true
+			}
+			// Confirm the identifier really is the package (not a local
+			// variable shadowing it).
+			if !isPkgName(pkg, id) {
+				return true
+			}
+			if why, bad := wallFuncs[sel.Sel.Name]; bad {
+				out = append(out, pkg.diag("walltime", sel.Pos(),
+					"time.%s %s: simulation code must use kernel virtual time (sim.Kernel Now/After/Every)",
+					sel.Sel.Name, why))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -52,6 +52,10 @@ func (n *Node) scheduleCompletion(a *AppInstance, job int64, release, started, f
 	}
 	c.a, c.job = a, job
 	c.release, c.started, c.finished, c.deadline = release, started, finished, deadline
+	// Completion records are one-shot and must always fire: crash/hang
+	// outcomes are decided inside complete() against current node state,
+	// and cancelling a pooled record would strand it outside the pool.
+	//dynalint:allow droppedref one-shot pooled completion; cancellation handled by node-state checks in complete()
 	n.k.At(finished, c.fire)
 }
 

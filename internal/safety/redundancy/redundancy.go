@@ -63,6 +63,10 @@ type Group struct {
 	lastSeen   []sim.Time // per-replica last activation (rejoin detection)
 	ticker     *sim.Ticker
 	promoting  bool
+	// pollRef is the pending post-promotion output poll; held so a
+	// fresh promotion (or future teardown) can cancel a stale poll
+	// loop instead of leaking it (dynalint droppedref).
+	pollRef sim.EventRef
 
 	// OnOutput is invoked on every master activation (the replicated
 	// function's externally visible service).
@@ -243,6 +247,10 @@ func (g *Group) beginPromotion(failed int, detected sim.Time, lastOut sim.Time) 
 	if next < 0 {
 		return // no live replica now; supervise keeps watching for rejoins
 	}
+	// A stale output poll from a previous promotion must not survive
+	// into this one: it would attribute the new master's first output
+	// to the old failover record.
+	g.pollRef.Cancel()
 	g.promoting = true
 	g.mgr.k.After(g.cfg.PromotionDelay, func() {
 		g.promoting = false
@@ -277,7 +285,7 @@ func (g *Group) beginPromotion(failed int, detected sim.Time, lastOut sim.Time) 
 				})
 				return
 			}
-			g.mgr.k.After(g.cfg.HeartbeatPeriod/2, poll)
+			g.pollRef = g.mgr.k.After(g.cfg.HeartbeatPeriod/2, poll)
 		}
 		poll()
 	})

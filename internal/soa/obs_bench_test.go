@@ -43,4 +43,4 @@ func benchPublishDeliver(b *testing.B, observed bool) {
 }
 
 func BenchmarkPublishDeliverHooksDisabled(b *testing.B) { benchPublishDeliver(b, false) }
-func BenchmarkPublishDeliverObserved(b *testing.B)     { benchPublishDeliver(b, true) }
+func BenchmarkPublishDeliverObserved(b *testing.B)      { benchPublishDeliver(b, true) }

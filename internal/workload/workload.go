@@ -119,6 +119,11 @@ func InfotainmentApps(rng *sim.RNG, n int) []*model.App {
 // stop it with the returned cancel func.
 type BurstSource struct {
 	stopped bool
+	// ref is the pending arrival timer. Stop cancels it so a stopped
+	// source leaves no event behind in the kernel queue: a dropped ref
+	// here is the PR 3 leak shape (one stale event firing into a dead
+	// stopped-check), which dynalint's droppedref check now rejects.
+	ref sim.EventRef
 }
 
 // Start launches the source on the kernel.
@@ -134,13 +139,17 @@ func (b *BurstSource) Start(k *sim.Kernel, rng *sim.RNG,
 		if gap < sim.Microsecond {
 			gap = sim.Microsecond
 		}
-		k.After(gap, next)
+		b.ref = k.After(gap, next)
 	}
-	k.After(0, next)
+	b.ref = k.After(0, next)
 }
 
-// Stop halts the source after the current event.
-func (b *BurstSource) Stop() { b.stopped = true }
+// Stop halts the source after the current event and cancels the pending
+// arrival timer.
+func (b *BurstSource) Stop() {
+	b.stopped = true
+	b.ref.Cancel()
+}
 
 // Fleet builds a complete synthetic vehicle system: nECU RTOS computing
 // platforms plus one POSIX head unit on a TSN backbone, carrying nCtl

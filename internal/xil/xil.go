@@ -257,12 +257,15 @@ func Run(level Level, plant Plant, pid *PID, sc Scenario, cfg Config) (Result, e
 
 	switch level {
 	case MiL:
-		k.Every(0, dt, func() {
+		loop := k.Every(0, dt, func() {
 			meas := measure()
 			u := pid.Step(sc.Setpoint(k.Now()), meas, dt)
 			plant.Step(apply(u), dt)
 			evaluate(measure())
 		})
+		// The control loop ends with the scenario: stop the ticker so
+		// it cannot outlive the bounded run below.
+		defer loop.Stop()
 	case SiL, HiL:
 		// The controller runs as a deterministic app on a platform node.
 		node := platform.NewNode(k, model.ECU{Name: "ecu", CPUMHz: 100,

@@ -18,6 +18,17 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="BENCH_sim.json"
 
+# --smoke: one iteration per benchmark and no BENCH_sim.json rewrite —
+# a fast CI gate that still compiles and executes every benchmark
+# (and therefore every experiment's `holds` reproduction check).
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+  SMOKE=1
+  BENCHTIME=1x
+  OUT="$(mktemp)"
+  trap 'rm -f "$OUT"' EXIT
+fi
+
 kernel_raw=$(go test -run '^$' \
   -bench 'BenchmarkScheduleFire|BenchmarkCancelHeavy|BenchmarkTickerHeavy|BenchmarkMixed|BenchmarkKernelScheduleRun' \
   -benchmem -benchtime "$BENCHTIME" ./internal/sim/)
@@ -82,7 +93,11 @@ exp_raw=$(go test -run '^$' -bench 'BenchmarkE[0-9]+' -benchtime 1x .)
 } > "$OUT"
 
 violated=$(grep -c '"holds": 0' "$OUT" || true)
-echo "wrote $OUT"
+if [ "$SMOKE" = "1" ]; then
+  echo "bench.sh --smoke: benchmarks ran (BENCH_sim.json left untouched)"
+else
+  echo "wrote $OUT"
+fi
 if [ "$violated" != "0" ]; then
   echo "bench.sh: $violated experiment expectation(s) VIOLATED" >&2
   exit 1

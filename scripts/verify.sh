@@ -8,11 +8,26 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt: unformatted files:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
 echo "==> go vet ./..."
 go vet ./...
+
+# dynalint: the determinism & lifecycle static-analysis suite
+# (DESIGN.md §8). Enforces the five contracts — walltime, seededrand,
+# maporder, nogoroutine, droppedref — that the soak tests below can
+# only sample; violating any of them is a build failure here.
+echo "==> dynalint ./..."
+go run ./cmd/dynalint ./...
 
 echo "==> go test ./..."
 go test ./...
