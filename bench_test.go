@@ -53,6 +53,7 @@ func BenchmarkE18GatewayBridge(b *testing.B)    { benchExperiment(b, "E18") }
 func BenchmarkE19ServiceDiscovery(b *testing.B) { benchExperiment(b, "E19") }
 func BenchmarkE20ParetoFront(b *testing.B)      { benchExperiment(b, "E20") }
 func BenchmarkE21FaultCampaign(b *testing.B)    { benchExperiment(b, "E21") }
+func BenchmarkE22Reconfig(b *testing.B)         { benchExperiment(b, "E22") }
 
 // BenchmarkEndToEndSimulation measures the facade's full-vehicle
 // simulation throughput (virtual seconds simulated per wall run).

@@ -48,6 +48,10 @@ func NewController(sys *model.System) *Controller {
 	return &Controller{sys: sys, MaxBusLoad: 0.75, Granularity: 250 * sim.Microsecond}
 }
 
+// System returns the model the controller admits against (the reconfig
+// orchestrator plans over it).
+func (c *Controller) System() *model.System { return c.sys }
+
 // Request is one admission request: an application, its target ECU, and
 // the interfaces it will provide.
 type Request struct {
@@ -151,6 +155,74 @@ func (c *Controller) Admit(req Request) (Decision, error) {
 		c.sys.Interfaces = append(c.sys.Interfaces, &ifc)
 	}
 	return d, nil
+}
+
+// AdmitAll admits a batch of requests atomically: either every request
+// is admitted (in slice order, each seeing the effects of the previous
+// ones) or none is — a mid-batch rejection restores the model to the
+// exact pre-batch state. The returned decisions cover every request the
+// batch evaluated, including the rejecting one; requests after the first
+// rejection are not evaluated.
+func (c *Controller) AdmitAll(reqs []Request) ([]Decision, error) {
+	snap := c.Snapshot()
+	out := make([]Decision, 0, len(reqs))
+	for i, req := range reqs {
+		d, err := c.Admit(req)
+		out = append(out, d)
+		if err != nil {
+			c.Restore(snap)
+			return out, fmt.Errorf("admission: batch request %d (%s): %w", i, req.App.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// Snapshot captures the mutable deployment state of the model — apps,
+// interfaces and placement — so a transaction (AdmitAll, a reconfig
+// recovery plan) can roll back to it. The hardware architecture (ECUs,
+// networks, bindings) is not snapshotted: admission never mutates it.
+type Snapshot struct {
+	apps      []model.App
+	ifaces    []model.Interface
+	placement map[string]string
+}
+
+// Snapshot deep-copies the deployment state.
+func (c *Controller) Snapshot() Snapshot {
+	s := Snapshot{
+		apps:      make([]model.App, len(c.sys.Apps)),
+		ifaces:    make([]model.Interface, len(c.sys.Interfaces)),
+		placement: make(map[string]string, len(c.sys.Placement)),
+	}
+	for i, a := range c.sys.Apps {
+		s.apps[i] = *a
+	}
+	for i, ifc := range c.sys.Interfaces {
+		s.ifaces[i] = *ifc
+	}
+	for app, ecu := range c.sys.Placement {
+		s.placement[app] = ecu
+	}
+	return s
+}
+
+// Restore writes a snapshot back into the model, discarding every
+// admission and removal since it was taken.
+func (c *Controller) Restore(s Snapshot) {
+	c.sys.Apps = make([]*model.App, len(s.apps))
+	for i := range s.apps {
+		a := s.apps[i]
+		c.sys.Apps[i] = &a
+	}
+	c.sys.Interfaces = make([]*model.Interface, len(s.ifaces))
+	for i := range s.ifaces {
+		ifc := s.ifaces[i]
+		c.sys.Interfaces[i] = &ifc
+	}
+	c.sys.Placement = make(map[string]string, len(s.placement))
+	for app, ecu := range s.placement {
+		c.sys.Placement[app] = ecu
+	}
 }
 
 // Remove uninstalls an app and its interfaces from the model.

@@ -1,0 +1,130 @@
+package admission
+
+import (
+	"testing"
+
+	"dynaplat/internal/model"
+)
+
+// stateJSON renders the full system model as deterministic JSON — the
+// byte-identity oracle for the snapshot/rollback contracts.
+func stateJSON(t *testing.T, sys *model.System) string {
+	t.Helper()
+	b, err := model.MarshalJSONSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// A mid-batch rejection must leave sys.Apps/sys.Interfaces/Placement
+// byte-identical to the pre-batch state (the AdmitAll atomicity
+// contract the reconfig orchestrator's transactions build on).
+func TestAdmitAllMidBatchRejectionRollsBack(t *testing.T) {
+	sys := vehicle()
+	c := NewController(sys)
+	before := stateJSON(t, sys)
+
+	reqs := []Request{
+		daReq("ok1", ms(20), ms(2), 128),
+		{App: model.App{Name: "ok2", Kind: model.NonDeterministic, MemoryKB: 64},
+			ECU: "CPM",
+			Interfaces: []model.Interface{{
+				Name: "ok2.out", Owner: "ok2", Paradigm: model.Event,
+				PayloadBytes: 8, Period: ms(20), LatencyBound: ms(10), Network: "Body",
+			}}},
+		daReq("hog", ms(10), ms(18), 64), // 9ms scaled / 10ms + base 0.2 → rejected
+		daReq("never", ms(50), ms(1), 32),
+	}
+	ds, err := c.AdmitAll(reqs)
+	if err == nil {
+		t.Fatal("over-capacity batch admitted")
+	}
+	if len(ds) != 3 {
+		t.Fatalf("decisions = %d, want 3 (stop at first rejection)", len(ds))
+	}
+	if !ds[0].Admitted || !ds[1].Admitted || ds[2].Admitted {
+		t.Fatalf("decision shape wrong: %+v", ds)
+	}
+	if after := stateJSON(t, sys); after != before {
+		t.Errorf("mid-batch rejection did not roll back:\n--- before\n%s\n--- after\n%s", before, after)
+	}
+}
+
+func TestAdmitAllSuccessAppliesEveryRequest(t *testing.T) {
+	sys := vehicle()
+	c := NewController(sys)
+	ds, err := c.AdmitAll([]Request{
+		daReq("a", ms(20), ms(2), 64),
+		daReq("b", ms(20), ms(2), 64),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || !ds[0].Admitted || !ds[1].Admitted {
+		t.Fatalf("decisions: %+v", ds)
+	}
+	if sys.App("a") == nil || sys.App("b") == nil ||
+		sys.Placement["a"] != "CPM" || sys.Placement["b"] != "CPM" {
+		t.Error("batch not applied")
+	}
+	// The second request must have seen the first: a third identical app
+	// is still admissible, but the utilization accumulated.
+	if ds[1].CPUUtilAfter <= ds[0].CPUUtilAfter {
+		t.Errorf("batch requests did not compose: %v then %v",
+			ds[0].CPUUtilAfter, ds[1].CPUUtilAfter)
+	}
+}
+
+func TestSnapshotRestoreIsDeep(t *testing.T) {
+	sys := vehicle()
+	c := NewController(sys)
+	snap := c.Snapshot()
+	before := stateJSON(t, sys)
+
+	// Mutate through every state dimension: add, remove, and mutate a
+	// surviving app in place (Restore must undo even in-place edits).
+	if _, err := c.Admit(daReq("tmp", ms(20), ms(2), 64)); err != nil {
+		t.Fatal(err)
+	}
+	sys.App("Base").MemoryKB = 1
+	sys.Interfaces[0].PayloadBytes = 999
+	sys.Placement["Base"] = "Head"
+
+	c.Restore(snap)
+	if after := stateJSON(t, sys); after != before {
+		t.Errorf("restore not byte-identical:\n--- before\n%s\n--- after\n%s", before, after)
+	}
+}
+
+// Admit → Remove → Admit must be a fixed point: re-admitting the same
+// request after removal yields a byte-identical model (slice positions,
+// placement, decisions — nothing drifts across the round trip).
+func TestAdmitRemoveAdmitRoundTripDeterministic(t *testing.T) {
+	sys := vehicle()
+	c := NewController(sys)
+	req := daReq("rt", ms(20), ms(2), 128)
+	req.Interfaces = []model.Interface{{
+		Name: "rt.out", Owner: "rt", Paradigm: model.Event,
+		PayloadBytes: 8, Period: ms(20), LatencyBound: ms(10), Network: "Body",
+	}}
+	d1, err := c.Admit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := stateJSON(t, sys)
+	if err := c.Remove("rt"); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.Admit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := stateJSON(t, sys)
+	if first != second {
+		t.Errorf("round trip not deterministic:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	if d1.CPUUtilAfter != d2.CPUUtilAfter || d1.MemAfterKB != d2.MemAfterKB {
+		t.Errorf("decisions drifted: %+v vs %+v", d1, d2)
+	}
+}

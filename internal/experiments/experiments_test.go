@@ -9,8 +9,8 @@ import (
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("experiments = %d (%v), want 21", len(ids), ids)
+	if len(ids) != 22 {
+		t.Fatalf("experiments = %d (%v), want 22", len(ids), ids)
 	}
 	for i, id := range ids {
 		want := i + 1

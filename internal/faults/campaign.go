@@ -81,6 +81,17 @@ type Campaign struct {
 
 	busy map[string]bool // target currently faulted
 
+	// OnInject, when non-nil, is invoked immediately after an activation
+	// is applied (the fault is already in effect and recorded). OnRepair
+	// is invoked immediately after an activation's repair completes (the
+	// target is healed and the repair recorded). Both fire at exact
+	// virtual instants inside the kernel, so recovery-time measurements
+	// (detect→steady, E22) and reconfig tests can anchor on them without
+	// scraping traces. The hooks observe; they must not re-enter the
+	// campaign.
+	OnInject func(Injection)
+	OnRepair func(Injection)
+
 	// Schedule is the materialized activation plan (valid after Start).
 	Schedule []Injection
 	// Log records applied activations and repairs in fire order.
@@ -221,11 +232,17 @@ func (c *Campaign) apply(inj Injection) {
 		undo = func() { tgt.SetSlowdown(1) }
 	}
 	c.record(Record{At: c.k.Now(), Kind: inj.Kind, Phase: PhaseInject, Target: inj.Target, Detail: detail})
+	if c.OnInject != nil {
+		c.OnInject(inj)
+	}
 	if inj.RepairAt > 0 && undo != nil {
 		c.k.At(inj.RepairAt, func() {
 			undo()
 			c.busy[inj.Target] = false
 			c.record(Record{At: c.k.Now(), Kind: inj.Kind, Phase: PhaseRepair, Target: inj.Target})
+			if c.OnRepair != nil {
+				c.OnRepair(inj)
+			}
 		})
 	}
 }

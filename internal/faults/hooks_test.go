@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"testing"
+
+	"dynaplat/internal/sim"
+)
+
+// The per-event completion hooks fire at the exact virtual instants of
+// the schedule — one OnInject per applied activation (at Injection.At),
+// one OnRepair per completed repair (at Injection.RepairAt) — so tests
+// and E22 can anchor recovery-time measurement without scraping traces.
+func TestCampaignEventHooksAnchorSchedule(t *testing.T) {
+	k := sim.NewKernel(7)
+	c := NewCampaign(k, DefaultSpec(0xC0))
+	for _, n := range []string{"cpmA", "cpmB", "cpmC"} {
+		c.AddTarget(n, &fakeTarget{name: n})
+	}
+	type ev struct {
+		at     sim.Time
+		target string
+		kind   Kind
+	}
+	var injects, repairs []ev
+	c.OnInject = func(inj Injection) {
+		injects = append(injects, ev{at: k.Now(), target: inj.Target, kind: inj.Kind})
+		if k.Now() != inj.At {
+			t.Errorf("OnInject at %v, scheduled %v", k.Now(), inj.At)
+		}
+	}
+	c.OnRepair = func(inj Injection) {
+		repairs = append(repairs, ev{at: k.Now(), target: inj.Target, kind: inj.Kind})
+		if k.Now() != inj.RepairAt {
+			t.Errorf("OnRepair at %v, scheduled %v", k.Now(), inj.RepairAt)
+		}
+	}
+	c.Start()
+	k.Run()
+
+	if len(injects) != len(c.Schedule) {
+		t.Fatalf("OnInject fired %d times for %d scheduled activations",
+			len(injects), len(c.Schedule))
+	}
+	wantRepairs := 0
+	for _, inj := range c.Schedule {
+		if inj.RepairAt > 0 {
+			wantRepairs++
+		}
+	}
+	if len(repairs) != wantRepairs {
+		t.Fatalf("OnRepair fired %d times, want %d", len(repairs), wantRepairs)
+	}
+	// Hook order matches the campaign log's phase records exactly.
+	hi, ri := 0, 0
+	for _, r := range c.Log {
+		switch r.Phase {
+		case PhaseInject:
+			if injects[hi].target != r.Target || injects[hi].at != r.At {
+				t.Fatalf("inject hook %d = %+v, log record %+v", hi, injects[hi], r)
+			}
+			hi++
+		case PhaseRepair:
+			if repairs[ri].target != r.Target || repairs[ri].at != r.At {
+				t.Fatalf("repair hook %d = %+v, log record %+v", ri, repairs[ri], r)
+			}
+			ri++
+		}
+	}
+}
+
+// Installing hooks must not change the campaign's schedule or outcomes:
+// the hooks observe, they do not draw randomness or schedule events.
+func TestCampaignHooksDoNotPerturbSchedule(t *testing.T) {
+	run := func(hooked bool) string {
+		k := sim.NewKernel(11)
+		c := NewCampaign(k, DefaultSpec(0xC1))
+		for _, n := range []string{"a", "b"} {
+			c.AddTarget(n, &fakeTarget{name: n})
+		}
+		if hooked {
+			c.OnInject = func(Injection) {}
+			c.OnRepair = func(Injection) {}
+		}
+		c.Start()
+		k.Run()
+		out := ""
+		for _, r := range c.Log {
+			out += r.String() + "\n"
+		}
+		return out
+	}
+	if plain, hooked := run(false), run(true); plain != hooked {
+		t.Errorf("hooks perturbed the campaign:\n--- plain\n%s\n--- hooked\n%s", plain, hooked)
+	}
+}

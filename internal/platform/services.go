@@ -172,6 +172,10 @@ func NewDiagnosisService(k *sim.Kernel) *DiagnosisService {
 // SetUplink installs the manufacturer-backend forwarder.
 func (d *DiagnosisService) SetUplink(fn func(Fault)) { d.uplink = fn }
 
+// Uplink returns the installed forwarder (nil when none) so additional
+// subscribers can chain onto it instead of clobbering it.
+func (d *DiagnosisService) Uplink() func(Fault) { return d.uplink }
+
 // RecordFault stores a fault and forwards it.
 func (d *DiagnosisService) RecordFault(f Fault) {
 	d.faults = append(d.faults, f)

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"fmt"
+	"sort"
 
 	"dynaplat/internal/platform"
 	"dynaplat/internal/sim"
@@ -18,10 +19,14 @@ type AliveSupervision struct {
 
 	window  sim.Duration
 	entries map[string]*aliveEntry
+	names   []string // sorted supervision order (deterministic checks)
 	ticker  *sim.Ticker
 
 	// Violations lists every failed supervision window.
 	Violations []AliveViolation
+	// OnViolation, when non-nil, is invoked for every failed window as
+	// it is detected (the reconfig orchestrator subscribes here).
+	OnViolation func(AliveViolation)
 }
 
 type aliveEntry struct {
@@ -56,7 +61,11 @@ func NewAliveSupervision(node *platform.Node, window sim.Duration) *AliveSupervi
 }
 
 // Supervise registers an app that must report between min and max alive
-// indications per window.
+// indications per window. Re-supervising a known app updates its bounds
+// in place. After Stop, the first Supervise re-arms the check ticker —
+// the supervisor is reusable across platform reconfigurations (an app
+// relocated to another ECU is Forgot here and Supervised on the new
+// node's supervisor).
 func (s *AliveSupervision) Supervise(app string, min, max int) error {
 	if s.node.App(app) == nil {
 		return fmt.Errorf("monitor: app %s not installed", app)
@@ -64,12 +73,54 @@ func (s *AliveSupervision) Supervise(app string, min, max int) error {
 	if min < 0 || max < min {
 		return fmt.Errorf("monitor: invalid alive bounds [%d,%d]", min, max)
 	}
-	s.entries[app] = &aliveEntry{min: min, max: max}
+	if e, known := s.entries[app]; known {
+		e.min, e.max = min, max
+	} else {
+		s.entries[app] = &aliveEntry{min: min, max: max}
+		s.names = append(s.names, app)
+		sort.Strings(s.names)
+	}
+	if s.ticker == nil {
+		// Re-arm after Stop: a fresh window starts now.
+		s.ticker = s.k.Every(s.k.Now().Add(s.window), s.window, s.check)
+	}
 	return nil
 }
 
-// Forget stops supervising an app.
-func (s *AliveSupervision) Forget(app string) { delete(s.entries, app) }
+// Forget stops supervising an app. Mid-window Forget discards the
+// window's partial count: no violation is raised for the app at the
+// window end (the app is gone, not silent).
+func (s *AliveSupervision) Forget(app string) {
+	if _, known := s.entries[app]; !known {
+		return
+	}
+	delete(s.entries, app)
+	kept := s.names[:0]
+	for _, n := range s.names {
+		if n != app {
+			kept = append(kept, n)
+		}
+	}
+	s.names = kept
+}
+
+// Bounds returns the supervision bounds of an app, and whether it is
+// supervised — used when migrating supervision to another node's
+// supervisor during reconfiguration.
+func (s *AliveSupervision) Bounds(app string) (min, max int, ok bool) {
+	e, known := s.entries[app]
+	if !known {
+		return 0, 0, false
+	}
+	return e.min, e.max, true
+}
+
+// Supervised returns the sorted names of the currently supervised apps.
+// The reconfig orchestrator compares a window's violation count against
+// it to distinguish one silent app from a whole silent node.
+func (s *AliveSupervision) Supervised() []string {
+	return append([]string(nil), s.names...)
+}
 
 // Alive is the checkpoint the supervised application calls.
 func (s *AliveSupervision) Alive(app string) {
@@ -79,11 +130,19 @@ func (s *AliveSupervision) Alive(app string) {
 	}
 }
 
-// Stop halts supervision.
-func (s *AliveSupervision) Stop() { s.ticker.Stop() }
+// Stop halts supervision. Stop is idempotent; Supervise after Stop
+// re-arms the ticker.
+func (s *AliveSupervision) Stop() {
+	if s.ticker == nil {
+		return
+	}
+	s.ticker.Stop()
+	s.ticker = nil
+}
 
 func (s *AliveSupervision) check() {
-	for app, e := range s.entries {
+	for _, app := range s.names {
+		e := s.entries[app]
 		bad := e.count < e.min || e.count > e.max
 		if bad && !e.failed {
 			v := AliveViolation{App: app, At: s.k.Now(), Count: e.count, Min: e.min, Max: e.max}
@@ -93,6 +152,9 @@ func (s *AliveSupervision) check() {
 				Detail: fmt.Sprintf("alive count %d outside [%d,%d]", e.count, e.min, e.max),
 			})
 			e.failed = true
+			if s.OnViolation != nil {
+				s.OnViolation(v)
+			}
 		}
 		e.count = 0
 	}

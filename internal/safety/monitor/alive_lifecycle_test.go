@@ -1,0 +1,108 @@
+package monitor
+
+import (
+	"testing"
+
+	"dynaplat/internal/model"
+	"dynaplat/internal/platform"
+	"dynaplat/internal/sim"
+)
+
+// Forget in the middle of a check window (after the app already missed
+// every indication of the partial window) must not raise a violation at
+// the window boundary: the app is gone, not silent.
+func TestAliveForgetMidWindow(t *testing.T) {
+	n, _ := ndaNode(t)
+	s := NewAliveSupervision(n, 100*sim.Millisecond)
+	if err := s.Supervise("svc", 1, 20); err != nil {
+		t.Fatal(err)
+	}
+	k := n.Kernel()
+	// No Alive() calls at all; forget halfway through the first window.
+	k.At(sim.Time(50*sim.Millisecond), func() { s.Forget("svc") })
+	k.RunUntil(sim.Time(400 * sim.Millisecond))
+	if len(s.Violations) != 0 {
+		t.Errorf("mid-window Forget still flagged: %+v", s.Violations)
+	}
+	// Forgetting twice (and forgetting the unknown) is a no-op.
+	s.Forget("svc")
+	s.Forget("ghost")
+}
+
+// Stop must be idempotent: a double Stop neither panics nor disturbs a
+// later re-arm.
+func TestAliveStopIdempotent(t *testing.T) {
+	n, _ := ndaNode(t)
+	s := NewAliveSupervision(n, 50*sim.Millisecond)
+	if err := s.Supervise("svc", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	s.Stop() // second Stop: no panic, no effect
+	n.Kernel().RunUntil(sim.Time(300 * sim.Millisecond))
+	if len(s.Violations) != 0 {
+		t.Errorf("stopped supervisor flagged: %+v", s.Violations)
+	}
+}
+
+// Supervise after Stop must re-arm the ticker: supervision resumes with
+// a fresh window and catches a silent app again.
+func TestAliveResuperviseAfterStopReArms(t *testing.T) {
+	n, _ := ndaNode(t)
+	s := NewAliveSupervision(n, 100*sim.Millisecond)
+	if err := s.Supervise("svc", 1, 20); err != nil {
+		t.Fatal(err)
+	}
+	k := n.Kernel()
+	beat := k.Every(0, 10*sim.Millisecond, func() { s.Alive("svc") })
+	k.At(sim.Time(250*sim.Millisecond), func() { s.Stop() })
+	// Re-arm at 500 ms; the app stays silent from 600 ms on.
+	k.At(sim.Time(500*sim.Millisecond), func() {
+		if err := s.Supervise("svc", 1, 20); err != nil {
+			t.Error(err)
+		}
+	})
+	k.At(sim.Time(600*sim.Millisecond), func() { beat.Stop() })
+	k.RunUntil(sim.Time(sim.Second))
+	if len(s.Violations) != 1 {
+		t.Fatalf("violations after re-arm = %+v, want exactly 1", s.Violations)
+	}
+	if at := s.Violations[0].At; at < sim.Time(600*sim.Millisecond) {
+		t.Errorf("violation at %v predates the re-arm silence", at)
+	}
+}
+
+// Multiple supervised apps fail in sorted-name order within one window —
+// the deterministic-iteration contract reconfig's recovery plans (and
+// dynalint's maporder analyzer) rely on.
+func TestAliveViolationOrderDeterministic(t *testing.T) {
+	n, _ := ndaNode(t)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		inst, err := n.Install(model.App{Name: name, Kind: model.NonDeterministic,
+			MemoryKB: 8}, platform.Behavior{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewAliveSupervision(n, 50*sim.Millisecond)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := s.Supervise(name, 1, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []string
+	s.OnViolation = func(v AliveViolation) { seen = append(seen, v.App) }
+	n.Kernel().RunUntil(sim.Time(60 * sim.Millisecond)) // one window, all silent
+	want := []string{"alpha", "mid", "zeta"}
+	if len(seen) != len(want) {
+		t.Fatalf("violations = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("violation order = %v, want sorted %v", seen, want)
+		}
+	}
+}

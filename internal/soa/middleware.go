@@ -242,6 +242,12 @@ func (m *Middleware) Endpoint(app, ecu string) *Endpoint {
 	return ep
 }
 
+// EndpointOf returns an application's registered endpoint, or nil when
+// the app never touched the middleware — unlike Endpoint it never
+// creates one (the reconfig orchestrator uses it to migrate only the
+// endpoints that exist).
+func (m *Middleware) EndpointOf(app string) *Endpoint { return m.eps[app] }
+
 // RemoveEndpoint tears an application's endpoint down: its offers vanish
 // from discovery and its subscriptions are dropped (used when stopping or
 // updating apps).

@@ -3,7 +3,7 @@
 #
 # Extends the historic `go build ./... && go test ./...` gate with
 # `go vet` and the race detector; `go test -race ./...` exercises the
-# parallel experiment harness (internal/experiments fans E1–E21 across
+# parallel experiment harness (internal/experiments fans E1–E22 across
 # GOMAXPROCS workers), so a data race between experiments fails CI here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,6 +41,14 @@ go test -race ./...
 # fault-injection engine (internal/faults).
 echo "==> fault-campaign determinism soak (E21 x2)"
 go test -run TestFaultCampaignDeterministic -count=2 ./internal/experiments/
+
+# Self-healing soak: the E22 recovery sweep (silence detection,
+# admission-checked re-placement, shedding, endpoint migration,
+# re-balancing) must render byte-identically on repeated runs — the
+# determinism contract of the reconfiguration orchestrator
+# (internal/reconfig).
+echo "==> self-healing determinism soak (E22 x2)"
+go test -run TestE22Deterministic -count=2 ./internal/experiments/
 
 # Observability determinism soak: the Chrome trace and metrics dump of
 # an observed E21 run must be byte-identical across runs and across
