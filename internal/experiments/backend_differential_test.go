@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"dynaplat/internal/obs"
+	"dynaplat/internal/sim"
+)
+
+// The timing-wheel fast path must be invisible in every observable: an
+// entire observed experiment re-run with the wheel disabled
+// (sim.HeapOnlyDefault, read by every kernel the runners construct)
+// must reproduce the rendered table, the Chrome trace and the metrics
+// dump byte-for-byte. This is the end-to-end form of the kernel-level
+// differential test in internal/sim — it covers the fault campaigns,
+// bus simulators, SOA middleware and redundancy layers all at once,
+// and it is why obs.SnapshotKernel exports only backend-invariant
+// gauges.
+func testBackendDifferential(t *testing.T, id string) {
+	old := ObsTraceCap
+	ObsTraceCap = 20000
+	defer func() { ObsTraceCap = old }()
+
+	artifacts := func(heapOnly bool) (table, trace, metrics string) {
+		sim.HeapOnlyDefault = heapOnly
+		defer func() { sim.HeapOnlyDefault = false }()
+		run, err := RunObserved(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tb, trb, mb bytes.Buffer
+		run.Table.Render(&tb)
+		if err := obs.WriteChromeTrace(&trb, run.TraceScopes()); err != nil {
+			t.Fatal(err)
+		}
+		if err := run.WriteMetrics(&mb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.String(), trb.String(), mb.String()
+	}
+
+	wTable, wTrace, wMetrics := artifacts(false)
+	hTable, hTrace, hMetrics := artifacts(true)
+	if wTable != hTable {
+		t.Errorf("%s: rendered table differs across queue backends:\n--- wheel\n%s\n--- heap-only\n%s",
+			id, wTable, hTable)
+	}
+	if wTrace != hTrace {
+		t.Errorf("%s: Chrome trace differs across queue backends", id)
+	}
+	if wMetrics != hMetrics {
+		t.Errorf("%s: metrics dump differs across queue backends", id)
+	}
+	if len(wTable) == 0 || len(wTrace) == 0 || len(wMetrics) == 0 {
+		t.Errorf("%s: empty artifacts (table=%d trace=%d metrics=%d bytes)",
+			id, len(wTable), len(wTrace), len(wMetrics))
+	}
+}
+
+func TestE21BackendDifferential(t *testing.T) { testBackendDifferential(t, "E21") }
+func TestE22BackendDifferential(t *testing.T) { testBackendDifferential(t, "E22") }

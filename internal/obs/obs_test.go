@@ -67,6 +67,7 @@ func TestNilSafety(t *testing.T) {
 		t.Error("nil Obs returned non-nil components")
 	}
 	o.SnapshotKernel(sim.NewKernel(1))
+	o.SnapshotKernelInternals(sim.NewKernel(1))
 	o.BridgeKernelTrace(sim.NewKernel(1))
 	// Accessors on the nil components still work end to end.
 	o.Metrics().Counter("c", Labels{}).Inc()
@@ -231,6 +232,39 @@ func TestChromeTraceValidAndDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(a.String(), `"tsns":1500`) {
 		t.Error("sub-microsecond remainder not preserved in args.tsns")
+	}
+}
+
+// SnapshotKernel must export only the queue-backend-invariant gauges;
+// backend bookkeeping (pool occupancy, compactions, wheel counters) is
+// quarantined in SnapshotKernelInternals so that observed experiment
+// artifacts stay byte-identical across heap-only and wheel backends.
+func TestSnapshotKernelBackendInvariantOnly(t *testing.T) {
+	k := sim.NewKernel(1)
+	o := New(k)
+	o.SnapshotKernel(k)
+	var buf bytes.Buffer
+	if err := o.M.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String()
+	for _, want := range []string{"kernel_fired", "kernel_canceled", "kernel_queue_live", "kernel_queue_peak"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("SnapshotKernel missing invariant gauge %s", want)
+		}
+	}
+	for _, banned := range []string{"kernel_pool_free", "kernel_compactions", "kernel_reused", "kernel_wheel"} {
+		if strings.Contains(dump, banned) {
+			t.Errorf("SnapshotKernel leaked backend-dependent gauge %s", banned)
+		}
+	}
+	o.SnapshotKernelInternals(k)
+	buf.Reset()
+	if err := o.M.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "kernel_pool_free") {
+		t.Error("SnapshotKernelInternals did not export kernel_pool_free")
 	}
 }
 

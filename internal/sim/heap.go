@@ -54,9 +54,6 @@ func (k *Kernel) push(ev *event) {
 	q[i] = ev
 	ev.index = int32(i)
 	k.queue = q
-	if live := len(q) - k.dead; live > k.statPeak {
-		k.statPeak = live
-	}
 }
 
 // popHead removes and returns the heap minimum. The caller owns the
@@ -105,10 +102,11 @@ func (k *Kernel) siftDown(i int, ev *event) {
 	ev.index = int32(i)
 }
 
-// peekLive returns the earliest live event without removing it, dropping
-// (and recycling) any canceled events that have surfaced at the head.
-// It returns nil when no live events remain.
-func (k *Kernel) peekLive() *event {
+// peekHeapLive returns the earliest live heap event without removing it,
+// dropping (and recycling) any canceled events that have surfaced at the
+// head. It returns nil when no live heap events remain. The wheel-aware
+// merge lives in peekLive (wheel.go).
+func (k *Kernel) peekHeapLive() *event {
 	for len(k.queue) > 0 {
 		h := k.queue[0]
 		if !h.canceled {
@@ -121,13 +119,21 @@ func (k *Kernel) peekLive() *event {
 	return nil
 }
 
-// alloc returns an event slot, reusing the pool when possible.
+// alloc returns an event slot: from the pool when possible, then from
+// the kernel's inline backing, then the heap.
 func (k *Kernel) alloc() *event {
 	if n := len(k.free); n > 0 {
 		ev := k.free[n-1]
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
 		k.statReused++
+		return ev
+	}
+	if int(k.ev0Used) < len(k.ev0) {
+		ev := &k.ev0[k.ev0Used]
+		k.ev0Used++
+		ev.k = k
+		ev.index = -1
 		return ev
 	}
 	return &event{k: k, index: -1}
@@ -138,6 +144,10 @@ func (k *Kernel) alloc() *event {
 func (k *Kernel) release(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	ev.fn1 = nil
+	ev.arg = nil
+	ev.tk = nil
+	ev.next = nil
 	ev.canceled = false
 	ev.index = -1
 	k.free = append(k.free, ev)

@@ -19,22 +19,27 @@ type RNG struct {
 // NewRNG returns a generator seeded deterministically from seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.seed(seed)
+	return r
+}
+
+// seed (re)initializes the state from seed via splitmix64. Factored out
+// of NewRNG so a Kernel can embed its RNG by value and seed it in place
+// without a separate allocation.
+func (r *RNG) seed(seed uint64) {
 	sm := seed
-	next := func() uint64 {
+	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
-	for i := range r.s {
-		r.s[i] = next()
+		r.s[i] = z ^ (z >> 31)
 	}
 	// Avoid the all-zero state, which xoshiro cannot escape.
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return r
+	r.haveGauss = false
 }
 
 // Split returns a new generator whose stream is independent of r's,

@@ -19,6 +19,10 @@ import "fmt"
 // Time is a point in virtual time, in nanoseconds since simulation start.
 type Time int64
 
+// maxTime is the largest representable virtual instant — an unbounded
+// run horizon.
+const maxTime = Time(1<<63 - 1)
+
 // Duration is a span of virtual time in nanoseconds.
 type Duration int64
 
@@ -76,15 +80,21 @@ type Handler func()
 
 // event is one scheduled handler. Events are pooled: after firing or
 // cancellation the slot is recycled, and gen is bumped so stale
-// EventRefs can be detected.
+// EventRefs can be detected. An event carries either fn (Handler) or
+// fn1+arg (the allocation-free AtCall form); fire dispatches whichever
+// is set.
 type event struct {
 	at       Time
 	prio     Priority
 	seq      uint64
 	gen      uint64
 	fn       Handler
+	fn1      func(any)
+	arg      any
+	tk       *Ticker // periodic events: fire re-arms inline and calls tk.fn
+	next     *event  // intrusive link for timing-wheel slot lists
 	k        *Kernel
-	index    int32 // heap index, -1 when not queued
+	index    int32 // heap index ≥ 0, wheelIdx when wheel-resident, -1 otherwise
 	canceled bool
 }
 
@@ -102,20 +112,26 @@ type EventRef struct {
 // the event was still pending.
 func (r EventRef) Cancel() bool {
 	ev := r.ev
-	if ev == nil || ev.gen != r.gen || ev.canceled || ev.index < 0 {
+	if ev == nil || ev.gen != r.gen || ev.canceled || ev.index == -1 {
 		return false
 	}
 	ev.canceled = true
 	k := ev.k
-	k.dead++
 	k.statCanceled++
-	k.maybeCompact()
+	k.live--
+	if ev.index == wheelIdx {
+		k.wheel.dead++
+		k.maybeSweep()
+	} else {
+		k.dead++
+		k.maybeCompact()
+	}
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been canceled.
 func (r EventRef) Pending() bool {
-	return r.ev != nil && r.ev.gen == r.gen && !r.ev.canceled && r.ev.index >= 0
+	return r.ev != nil && r.ev.gen == r.gen && !r.ev.canceled && r.ev.index != -1
 }
 
 // Kernel is a discrete-event simulation executive.
@@ -125,17 +141,18 @@ func (r EventRef) Pending() bool {
 // time. Run many kernels in parallel (one per goroutine) for fan-out
 // workloads such as the experiment harness.
 type Kernel struct {
-	now     Time
-	queue   []*event // 4-ary heap ordered by (at, prio, seq)
-	free    []*event // recycled event slots
-	dead    int      // canceled events still in queue
-	seq     uint64
-	running bool
-	stopped bool
-	firing  *event // event currently being dispatched, if any
-	rearmed bool   // firing event was re-pushed by rearmFiring
-	rng     *RNG
-	tracer  *Tracer
+	now      Time
+	queue    []*event // 4-ary heap ordered by (at, prio, seq)
+	free     []*event // recycled event slots
+	dead     int      // canceled events still in the heap
+	live     int      // live events across heap and wheel (O(1) QueueLen)
+	seq      uint64
+	running  bool
+	stopped  bool
+	wheelOff bool   // DisableWheel: heap-only mode for differential tests
+	wheel    *wheel // timing-wheel fast path, nil until first used
+	rng      RNG
+	tracer   *Tracer
 
 	statCanceled    uint64
 	statReused      uint64
@@ -144,19 +161,55 @@ type Kernel struct {
 
 	// EventCount is the total number of events executed so far.
 	EventCount uint64
+
+	// Inline backing for the first few queue and pool entries, so a
+	// fresh kernel running a short event chain never grows either slice.
+	queue0 [4]*event
+	free0  [4]*event
+
+	// Inline backing for the first event slots, so a fresh kernel's
+	// short chain never allocates events at all.
+	ev0     [2]event
+	ev0Used int8
 }
 
+// HeapOnlyDefault, when true, makes NewKernel return kernels with the
+// timing wheel disabled, as if DisableWheel had been called on each.
+// It exists for the differential backend tests, which re-run entire
+// experiments — whose kernels are constructed deep inside the runners —
+// on the pure heap backend and require the results to be
+// byte-identical. Flip it only around such a test; it is read once at
+// kernel construction.
+var HeapOnlyDefault bool
+
 // NewKernel returns a kernel at time zero with a deterministic RNG
-// initialized from seed.
+// initialized from seed. The kernel itself is the only allocation.
 func NewKernel(seed uint64) *Kernel {
-	return &Kernel{rng: NewRNG(seed)}
+	k := &Kernel{}
+	k.rng.seed(seed)
+	k.queue = k.queue0[:0]
+	k.free = k.free0[:0]
+	k.wheelOff = HeapOnlyDefault
+	return k
+}
+
+// DisableWheel reverts the kernel to the pure 4-ary-heap event queue,
+// disabling the timing-wheel fast path. The observable behavior is
+// byte-identical either way (the differential tests prove it); the
+// switch exists so those tests can run both backends. It must be called
+// before any event is scheduled.
+func (k *Kernel) DisableWheel() {
+	if len(k.queue) > 0 || (k.wheel != nil && k.wheel.count > 0) {
+		panic("sim: DisableWheel called with events scheduled")
+	}
+	k.wheelOff = true
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
 // RNG returns the kernel's deterministic random source.
-func (k *Kernel) RNG() *RNG { return k.rng }
+func (k *Kernel) RNG() *RNG { return &k.rng }
 
 // SetTracer installs t as the kernel's tracer; nil disables tracing.
 func (k *Kernel) SetTracer(t *Tracer) { k.tracer = t }
@@ -179,20 +232,43 @@ func (k *Kernel) At(at Time, fn Handler) EventRef {
 
 // AtPriority schedules fn at the given time and same-instant priority.
 func (k *Kernel) AtPriority(at Time, prio Priority, fn Handler) EventRef {
-	if at < k.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
-	}
 	if fn == nil {
 		panic("sim: nil event handler")
+	}
+	ev := k.newEvent(at, prio)
+	ev.fn = fn
+	k.schedule(ev)
+	return EventRef{ev, ev.gen}
+}
+
+// newEvent allocates and stamps an event slot for time at.
+func (k *Kernel) newEvent(at Time, prio Priority) *event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
 	}
 	ev := k.alloc()
 	ev.at = at
 	ev.prio = prio
 	ev.seq = k.seq
-	ev.fn = fn
 	k.seq++
-	k.push(ev)
-	return EventRef{ev, ev.gen}
+	return ev
+}
+
+// schedule routes a stamped event into the timing wheel when it fits,
+// falling back to the heap, and maintains the live count and its
+// high-water mark. The live count is backend-invariant (an event is
+// live iff scheduled, unfired and uncanceled, regardless of which
+// structure holds it), which keeps QueueLen and the observed
+// kernel_queue_peak gauge byte-identical across wheel and heap-only
+// kernels.
+func (k *Kernel) schedule(ev *event) {
+	if k.wheelOff || !k.tryWheel(ev) {
+		k.push(ev)
+	}
+	k.live++
+	if k.live > k.statPeak {
+		k.statPeak = k.live
+	}
 }
 
 // After schedules fn to run d after the current time.
@@ -212,18 +288,53 @@ func (k *Kernel) AfterPriority(d Duration, prio Priority, fn Handler) EventRef {
 	return k.AtPriority(k.now.Add(d), prio, fn)
 }
 
+// AfterCall schedules fn(arg) to run d after the current time with
+// normal priority. Unlike After it takes a plain function plus its
+// argument — typically a pre-bound method value and a pooled record —
+// so hot paths schedule without building a closure per event, and it
+// deliberately returns no EventRef: the event is fire-and-forget and
+// can never be canceled, which is what delivery-style callers want.
+func (k *Kernel) AfterCall(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.AtCall(k.now.Add(d), fn, arg)
+}
+
+// AtCall schedules fn(arg) at time at with normal priority. See
+// AfterCall for the contract.
+func (k *Kernel) AtCall(at Time, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: nil event handler")
+	}
+	ev := k.newEvent(at, PriorityNormal)
+	ev.fn1 = fn
+	ev.arg = arg
+	k.schedule(ev)
+}
+
 // Every schedules fn at start and then every period thereafter, until the
 // returned ticker is stopped. period must be positive.
 func (k *Kernel) Every(start Time, period Duration, fn Handler) *Ticker {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
+	if fn == nil {
+		panic("sim: nil event handler")
+	}
 	t := &Ticker{k: k, period: period, fn: fn}
-	t.ref = k.At(start, t.tick)
+	ev := k.newEvent(start, PriorityNormal)
+	ev.tk = t
+	k.schedule(ev)
+	t.ref = EventRef{ev, ev.gen}
 	return t
 }
 
-// Ticker repeatedly fires a handler at a fixed period.
+// Ticker repeatedly fires a handler at a fixed period. Ticker events
+// are re-armed inline by fire: the same event slot goes straight back
+// into the queue (fresh seq and generation, one wheel insert in the
+// common case) before the handler runs — no pool round-trip, no
+// allocation, no per-tick closure dispatch.
 type Ticker struct {
 	k       *Kernel
 	period  Duration
@@ -232,41 +343,10 @@ type Ticker struct {
 	stopped bool
 }
 
-func (t *Ticker) tick() {
-	if t.stopped {
-		return
-	}
-	// Fast path: re-arm by pushing the just-fired event object back into
-	// the queue (fresh seq and generation, same handler) — no pool
-	// round-trip, no allocation.
-	if ref, ok := t.k.rearmFiring(t.period); ok {
-		t.ref = ref
-	} else {
-		t.ref = t.k.After(t.period, t.tick)
-	}
-	t.fn()
-}
-
 // Stop cancels future firings.
 func (t *Ticker) Stop() {
 	t.stopped = true
 	t.ref.Cancel()
-}
-
-// rearmFiring reschedules the event currently being dispatched d after
-// now, reusing its slot. It reports false when no event is firing or the
-// slot was already re-armed.
-func (k *Kernel) rearmFiring(d Duration) (EventRef, bool) {
-	h := k.firing
-	if h == nil || k.rearmed {
-		return EventRef{}, false
-	}
-	h.at = k.now.Add(d)
-	h.seq = k.seq
-	k.seq++
-	k.rearmed = true
-	k.push(h)
-	return EventRef{h, h.gen}, true
 }
 
 // Stop halts the run loop after the current event completes. Stop is
@@ -291,32 +371,70 @@ func (k *Kernel) Step() bool {
 	return true
 }
 
-// fire pops h (the known queue head) and dispatches it.
+// fire pops h (the known merged queue head, from the heap or from the
+// wheel's drained current bucket) and dispatches it.
 func (k *Kernel) fire(h *event) {
-	k.popHead()
+	if h.index == wheelIdx {
+		k.wheel.popBucket()
+		h.index = -1
+	} else {
+		k.popHead()
+	}
 	k.now = h.at
 	k.EventCount++
-	// The slot leaves the queue: stale any refs now so that a
-	// cancel-after-fire (or a cancel of a later re-arm seen through an
-	// old ref) is inert.
-	h.gen++
-	prevFiring, prevRearmed := k.firing, k.rearmed
-	k.firing, k.rearmed = h, false
-	h.fn()
-	if !k.rearmed {
-		// Not re-armed by a ticker: recycle. gen was already bumped.
-		h.fn = nil
-		h.canceled = false
-		k.free = append(k.free, h)
+	k.live--
+	if tk := h.tk; tk != nil {
+		// Ticker fast path: re-arm the just-fired slot inline — before
+		// the handler, so the handler observes a pending ref and can
+		// Stop() it — then dispatch the user handler directly. The slot
+		// keeps its generation across re-arms: the only ref to a ticker
+		// event is the ticker's own (Every hands out *Ticker, never an
+		// EventRef), so tk.ref set at Every time stays valid for the
+		// ticker's whole life and needs no per-fire rewrite.
+		if !tk.stopped {
+			h.at = k.now.Add(tk.period)
+			h.seq = k.seq
+			k.seq++
+			k.schedule(h)
+			tk.fn()
+		} else {
+			h.gen++
+			h.fn = nil
+			h.tk = nil
+			h.canceled = false
+			k.free = append(k.free, h)
+		}
+		return
 	}
-	k.firing, k.rearmed = prevFiring, prevRearmed
+	// The slot leaves the queue for good: stale any refs (so a
+	// cancel-after-fire is inert) and recycle it before the handler
+	// runs — a handler that immediately schedules (the chain pattern)
+	// then reuses this very slot instead of growing the pool.
+	h.gen++
+	fn, fn1, arg := h.fn, h.fn1, h.arg
+	h.fn = nil
+	h.fn1 = nil
+	h.arg = nil
+	h.canceled = false
+	k.free = append(k.free, h)
+	if fn1 != nil {
+		fn1(arg)
+	} else {
+		fn()
+	}
 }
 
 // Run executes events until the queue is empty or Stop is called.
 func (k *Kernel) Run() {
 	k.runGuard()
 	defer func() { k.running = false }()
-	for !k.stopped && k.Step() {
+	for !k.stopped {
+		if w := k.wheel; w != nil && w.count > 0 && len(k.queue) == 0 {
+			k.burnWheel(maxTime)
+		}
+		if !k.Step() {
+			break
+		}
 	}
 	k.stopped = false
 }
@@ -328,6 +446,9 @@ func (k *Kernel) RunUntil(end Time) {
 	k.runGuard()
 	defer func() { k.running = false }()
 	for !k.stopped {
+		if w := k.wheel; w != nil && w.count > 0 && len(k.queue) == 0 {
+			k.burnWheel(end)
+		}
 		h := k.peekLive()
 		if h == nil || h.at > end {
 			break
@@ -350,33 +471,48 @@ func (k *Kernel) runGuard() {
 	k.running = true
 }
 
-// QueueLen returns the number of live (non-canceled) scheduled events.
-// Canceled events awaiting lazy removal are not counted. Intended for
-// tests and diagnostics.
-func (k *Kernel) QueueLen() int { return len(k.queue) - k.dead }
+// QueueLen returns the number of live (non-canceled) scheduled events,
+// whether heap- or wheel-resident. Canceled events awaiting lazy removal
+// are not counted. Intended for tests and diagnostics.
+func (k *Kernel) QueueLen() int { return k.live }
 
 // KernelStats is a snapshot of kernel counters for observability.
+//
+// Fired, Canceled, QueueLive and PeakQueue are queue-backend-invariant:
+// a wheel-backed and a heap-only kernel driving the same event program
+// report identical values. The remaining fields are implementation
+// bookkeeping whose values depend on lazy-recycle timing and therefore
+// on the backend; observed experiment artifacts must only include the
+// invariant set (see obs.SnapshotKernel).
 type KernelStats struct {
-	Fired       uint64 // events executed
-	Canceled    uint64 // cancellations accepted
-	Reused      uint64 // schedules served from the event pool
-	PoolFree    int    // event slots currently parked in the pool
-	QueueLive   int    // live (non-canceled) events queued now
-	QueueDead   int    // canceled events awaiting lazy removal
-	PeakQueue   int    // high-water mark of live queued events
-	Compactions uint64 // bulk sweeps of canceled events
+	Fired         uint64 // events executed
+	Canceled      uint64 // cancellations accepted
+	Reused        uint64 // schedules served from the event pool
+	PoolFree      int    // event slots currently parked in the pool
+	QueueLive     int    // live events queued now, heap- and wheel-resident
+	QueueDead     int    // canceled events awaiting lazy removal (heap + wheel)
+	WheelLive     int    // live events currently wheel-resident
+	WheelCascades uint64 // higher-level wheel buckets scattered downward
+	PeakQueue     int    // high-water mark of live queued events
+	Compactions   uint64 // bulk canceled-event sweeps (heap + wheel)
 }
 
 // Stats returns a snapshot of the kernel's internal counters.
 func (k *Kernel) Stats() KernelStats {
-	return KernelStats{
+	st := KernelStats{
 		Fired:       k.EventCount,
 		Canceled:    k.statCanceled,
 		Reused:      k.statReused,
 		PoolFree:    len(k.free),
-		QueueLive:   len(k.queue) - k.dead,
+		QueueLive:   k.live,
 		QueueDead:   k.dead,
 		PeakQueue:   k.statPeak,
 		Compactions: k.statCompactions,
 	}
+	if w := k.wheel; w != nil {
+		st.QueueDead += w.dead
+		st.WheelLive = w.count - w.dead
+		st.WheelCascades = w.statCascades
+	}
+	return st
 }

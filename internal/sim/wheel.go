@@ -1,0 +1,606 @@
+package sim
+
+// Hierarchical timing wheel: the fast path of the event queue.
+//
+// The dominant automotive load is periodic — control loops, bus slot
+// tickers, heartbeats, deadline supervision — and every Ticker re-arm
+// used to pay an O(log n) heap sift. The wheel gives those near-future
+// events O(1) insert and re-arm; the 4-ary heap (heap.go) remains the
+// overflow structure for far-future outliers, for sub-grain inserts,
+// and for the rare level-0 slot that fills past its inline capacity.
+//
+// Layout. Six levels of 64 slots; a slot at level l spans 64^l grains of
+// 4ns (wheelGBits). Level 0 slots are 4ns wide, so the wheel resolves
+// the nanosecond-scale periods the kernel benchmarks use while level 5
+// still reaches ~4.5 virtual minutes; anything farther out overflows to
+// the heap. A level-0 slot is a fixed-capacity inline array kept sorted
+// by lessEv at insert time — no slice headers, no append machinery, and
+// the insertion shift moves a few adjacent pointers within one or two
+// cache lines. A slot that fills past wheelSlotCap spills the excess to
+// the heap, which is merely slower, never wrong (see ordering). Higher
+// levels are unsorted intrusive singly-linked lists (the event struct
+// carries a next pointer) with O(1) prepend. One occupancy bit per slot
+// in a per-level uint64 bitmap makes "earliest occupied slot" one
+// rotate and one TrailingZeros64 per level consulted.
+//
+// Ordering contract. The kernel's total order (time, priority, seq) must
+// be byte-for-byte independent of which structure held an event, so the
+// wheel establishes lessEv order before events become poppable:
+//
+//   - Level-0 slots are sorted on insert, so draining one is a short
+//     copy, not a sort.
+//   - Higher-level events cascade downward when the cursor reaches their
+//     slot and take their lessEv position when they reach a level-0
+//     slot (same-grain cascades sorted-insert into the current level-0
+//     slot, which advance then drains — the "higher level first on equal
+//     starts" rule falls out of processing hiLB before the level-0
+//     candidate).
+//   - The drained bucket (cbBuf) is merged against the heap head by
+//     peekLive with lessEv. seq is unique, so the merged pop order is
+//     identical to a heap-only kernel's — including when some events
+//     overflowed to the heap.
+//
+// Cursor invariants. cur tracks the grain of the most recently drained
+// bucket and is dragged up to now's grain on insert. It never passes an
+// occupied slot whose events could fire before a later event: peekLive
+// only advances the wheel when the heap head is not provably earlier
+// than every wheel event (lowerBound), and RunUntil only jumps now past
+// wheel events that are provably later than the horizon. cur can move
+// *backward* transiently inside advance when a higher-level slot whose
+// span straddles now is cascaded; the lapped-slot re-bucketing below
+// makes that safe.
+//
+// Lapped slots. A slot index is a pure function of an event's time, so
+// two events 64^(l+1) grains apart share a slot, and a slot's cyclic
+// distance from cur can understate an event's true distance. The wheel
+// never trusts a slot's claimed start: draining a level-0 bucket keeps
+// only the events whose grain really equals the cursor (the slot is
+// sorted, so later grains are exactly a suffix) and re-buckets the rest
+// by their own times; cascades likewise re-bucket by each event's own
+// time. A misidentified slot therefore costs a wasted drain, never a
+// misordered pop. The same argument makes every computed bound stale-low
+// at worst, which is safe for a lower bound.
+//
+// Laziness. A kernel allocates its wheel (a few KB of slot arrays) on
+// the first insert that lands in a slot while at least wheelMinLive
+// events are already live — so the depth-1 schedule→fire chains of
+// one-shot workloads, where the heap is already O(1), never pay for it.
+// The wheel keeps a cached exact minimum over the higher levels
+// (hiLB/hiLvl, invalidated by cascades and sweeps, min-updated by
+// inserts) so the steady-state advance cost is one level-0 bitmap probe,
+// and peekLive can skip draining far-future slots while the heap head is
+// earlier.
+//
+// Cancellation mirrors the heap: canceled residents are tombstoned and
+// dropped when their slot drains or cascades, with a bulk sweep (same
+// >50% threshold as heap compaction) so a cancel-heavy workload cannot
+// pin memory.
+
+import "math/bits"
+
+const (
+	// wheelGBits is the log2 grain: one level-0 slot spans 4ns. A fine
+	// grain keeps level-0 slots near-singleton for nanosecond-period
+	// tickers (the sorted insert then costs zero compares) at the price
+	// of more advance steps, which are a rotate+TrailingZeros each.
+	wheelGBits = 2
+	// wheelSlotBits is the log2 fan-out per level: 64 slots.
+	wheelSlotBits = 6
+	wheelSlots    = 1 << wheelSlotBits
+	wheelMask     = wheelSlots - 1
+	// wheelLevels bounds the horizon: 64^6 grains ≈ 4.5 virtual minutes.
+	wheelLevels = 6
+
+	// wheelSlotCap is the inline capacity of a level-0 slot; denser
+	// slots spill to the heap.
+	wheelSlotCap = 8
+
+	// wheelMinLive gates wheel creation: with fewer live events the heap
+	// is already O(1)-ish and a short-lived kernel should not pay the
+	// wheel's slot-array allocation.
+	wheelMinLive = 2
+
+	// wheelIdx marks an event as wheel-resident (slot or drained
+	// bucket). Heap events carry their heap index ≥ 0; -1 means unqueued.
+	wheelIdx = -2
+
+	// noHi is the hiLB sentinel for "no occupied higher-level slot".
+	noHi = ^uint64(0)
+)
+
+// wheel is the hierarchical timing wheel state. It lives behind a
+// pointer on the Kernel and is nil until first used.
+type wheel struct {
+	// cur is the cursor position in level-0 grains (at >> wheelGBits).
+	cur uint64
+
+	// hiLB/hiLvl cache the earliest occupied slot start (in grains) and
+	// its level across levels 1..wheelLevels-1 while hiOK. noHi when no
+	// higher-level slot is occupied.
+	hiLB  uint64
+	hiLvl int
+	hiOK  bool
+
+	count     int // resident events (slots + drained bucket), incl. canceled
+	dead      int // canceled residents awaiting drain or sweep
+	slotCount int // residents still in slots (excludes drained bucket)
+
+	occ [wheelLevels]uint64
+	s0n [wheelSlots]uint8                   // level-0 slot fill counts
+	s0  [wheelSlots][wheelSlotCap]*event    // level 0: lessEv-sorted arrays
+	hi  [wheelLevels - 1][wheelSlots]*event // levels 1..: unsorted lists
+
+	// cbBuf[cbHead:cbLen] is the drained current bucket — the
+	// lessEv-sorted events of grain cur. Between advances it is the
+	// wheel's head. Popped entries are not nil-ed; the array is
+	// overwritten by the next drain and everything it points to is
+	// reachable through the pool or the queue anyway.
+	cbBuf  [wheelSlotCap]*event
+	cbLen  int
+	cbHead int
+
+	statCascades uint64
+}
+
+// wheelLevelFor returns the level whose slot width covers distance d ≥ 1.
+func wheelLevelFor(d uint64) int {
+	return (bits.Len64(d) - 1) / wheelSlotBits
+}
+
+// tryWheel routes ev into a wheel slot, reporting false when the event
+// belongs on the heap instead (same grain as the cursor, beyond the
+// wheel horizon, a full level-0 slot, or a kernel too shallow to
+// warrant a wheel). Called from schedule for every insert.
+func (k *Kernel) tryWheel(ev *event) bool {
+	w := k.wheel
+	wt := uint64(ev.at) >> wheelGBits
+	cur := uint64(k.now) >> wheelGBits
+	if w != nil && w.cur > cur {
+		cur = w.cur
+	}
+	d := wt - cur
+	if d == 0 {
+		// Same grain as the cursor: the heap resolves sub-grain order
+		// against the already-drained current bucket.
+		return false
+	}
+	lvl := wheelLevelFor(d)
+	if lvl >= wheelLevels {
+		return false // beyond the horizon: far-future outlier
+	}
+	if w == nil {
+		if k.live < wheelMinLive {
+			return false
+		}
+		w = &wheel{cur: cur}
+		k.wheel = w
+	} else {
+		// Safe to drag the cursor up to now: no occupied slot holds an
+		// event that could fire before now (see cursor invariants).
+		w.cur = cur
+	}
+	if !w.link(ev, lvl, wt) {
+		return false // slot full: overflow to the heap
+	}
+	ev.index = wheelIdx
+	w.count++
+	w.slotCount++
+	return true
+}
+
+// link places ev into the slot covering wt at the given level: sorted
+// insert at level 0, prepend (with hiLB min-maintenance) above. It
+// reports false — leaving the wheel untouched — when a level-0 slot is
+// already full.
+func (w *wheel) link(ev *event, lvl int, wt uint64) bool {
+	shift := uint(lvl) * wheelSlotBits
+	idx := (wt >> shift) & wheelMask
+	if lvl == 0 {
+		n := int(w.s0n[idx])
+		if n == wheelSlotCap {
+			return false
+		}
+		s := &w.s0[idx]
+		i := n
+		for i > 0 && lessEv(ev, s[i-1]) {
+			s[i] = s[i-1]
+			i--
+		}
+		s[i] = ev
+		w.s0n[idx] = uint8(n + 1)
+	} else {
+		ev.next = w.hi[lvl-1][idx]
+		w.hi[lvl-1][idx] = ev
+		if start := (wt >> shift) << shift; w.hiOK && start < w.hiLB {
+			w.hiLB, w.hiLvl = start, lvl
+		}
+	}
+	w.occ[lvl] |= 1 << idx
+	return true
+}
+
+// peekLive returns the earliest live event across the heap and the
+// wheel without removing it, recycling canceled events it skips over.
+// It is the kernel's single merge point: the heap head and the wheel
+// head are compared with lessEv, the same strict total order both
+// structures already respect internally, so the pop order is identical
+// to a heap-only kernel's.
+//
+// The wheel side is lazy: while its drained current bucket is spent but
+// slots remain occupied, the wheel only advances (drains its next
+// bucket) when the heap head is not provably earlier than every
+// slot-resident event (lowerBound). This keeps far-future wheel slots
+// untouched — and the cursor behind now — while near-term heap traffic
+// drains, which the tryWheel now-synchronization relies on.
+func (k *Kernel) peekLive() *event {
+	w := k.wheel
+	if w == nil || w.count == 0 {
+		return k.peekHeapLive()
+	}
+	for {
+		// The heap head is re-read on every iteration: advance can spill
+		// events to the heap (a cascade into a full level-0 slot), so a
+		// head cached from before an advance may no longer be the heap
+		// minimum — and fire pops the real head, not the peeked value.
+		hh := k.peekHeapLive()
+		wh := w.peekBucket(k)
+		if wh == nil {
+			if w.slotCount == 0 {
+				return hh
+			}
+			if hh != nil && hh.at < w.lowerBound() {
+				// Strictly earlier than any slot start ⇒ earlier than
+				// every wheel event; ties must drain the bucket so
+				// prio/seq decide.
+				return hh
+			}
+			w.advance(k)
+			continue
+		}
+		// Slot-resident events all live in grains strictly after the
+		// drained bucket, so the bucket head is the wheel's minimum.
+		if hh != nil && lessEv(hh, wh) {
+			return hh
+		}
+		return wh
+	}
+}
+
+// lowerBound returns a time no later than any slot-resident event.
+// Only meaningful while slotCount > 0.
+func (w *wheel) lowerBound() Time {
+	lb := noHi
+	if o := w.occ[0]; o != 0 {
+		rot := bits.RotateLeft64(o, -int(w.cur&wheelMask))
+		lb = w.cur + uint64(bits.TrailingZeros64(rot))
+	}
+	if !w.hiOK {
+		w.recomputeHi()
+	}
+	if w.hiLB < lb {
+		lb = w.hiLB
+	}
+	return Time(lb << wheelGBits)
+}
+
+// recomputeHi rebuilds the cached minimum occupied-slot start across
+// levels 1..wheelLevels-1. Scanning high to low with a strict compare
+// leaves hiLvl at the highest level on equal starts, so cascades scatter
+// coarse slots before fine ones.
+func (w *wheel) recomputeHi() {
+	w.hiLB, w.hiLvl = noHi, 0
+	for l := wheelLevels - 1; l >= 1; l-- {
+		o := w.occ[l]
+		if o == 0 {
+			continue
+		}
+		shift := uint(l) * wheelSlotBits
+		pos := w.cur >> shift
+		rot := bits.RotateLeft64(o, -int(pos&wheelMask))
+		dist := uint64(bits.TrailingZeros64(rot))
+		if s := (pos + dist) << shift; s < w.hiLB {
+			w.hiLB, w.hiLvl = s, l
+		}
+	}
+	w.hiOK = true
+}
+
+// peekBucket returns the earliest live event of the drained current
+// bucket, recycling canceled entries it skips, or nil when the bucket
+// is spent.
+func (w *wheel) peekBucket(k *Kernel) *event {
+	for w.cbHead < w.cbLen {
+		e := w.cbBuf[w.cbHead]
+		if !e.canceled {
+			return e
+		}
+		w.cbHead++
+		w.count--
+		w.dead--
+		k.release(e)
+	}
+	return nil
+}
+
+// popBucket removes the current bucket head (the event peekBucket
+// returned).
+func (w *wheel) popBucket() {
+	w.cbHead++
+	w.count--
+}
+
+// advance moves the cursor to the earliest occupied slot and installs
+// that bucket as the current (cbBuf) contents. Higher-level slots at or
+// before the level-0 candidate cascade first, so same-start buckets
+// merge — in sorted position — before the bucket is exposed. Requires
+// the previous bucket to be fully popped and slotCount > 0.
+func (w *wheel) advance(k *Kernel) {
+	for w.slotCount > 0 {
+		var start0 uint64
+		have0 := w.occ[0] != 0
+		if have0 {
+			rot := bits.RotateLeft64(w.occ[0], -int(w.cur&wheelMask))
+			start0 = w.cur + uint64(bits.TrailingZeros64(rot))
+		}
+		if !w.hiOK {
+			w.recomputeHi()
+		}
+		if w.hiLB != noHi && (!have0 || w.hiLB <= start0) {
+			w.cascade(k)
+			continue
+		}
+		// Drain the level-0 bucket at start0 into cbBuf. The slot is
+		// emptied before any re-bucketing so a lapped event relinking
+		// into this same slot cannot alias the bucket.
+		w.cur = start0
+		idx := start0 & wheelMask
+		n := int(w.s0n[idx])
+		w.s0n[idx] = 0
+		w.occ[0] &^= 1 << idx
+		copy(w.cbBuf[:n], w.s0[idx][:n])
+		// Lapped residents (grain > cur) sort strictly after this
+		// grain's events: peel them off the tail and re-bucket them by
+		// their own times.
+		for n > 0 {
+			e := w.cbBuf[n-1]
+			if uint64(e.at)>>wheelGBits == start0 {
+				break
+			}
+			n--
+			if e.canceled {
+				w.count--
+				w.dead--
+				w.slotCount--
+				k.release(e)
+			} else {
+				w.relink(k, e)
+			}
+		}
+		w.slotCount -= n
+		w.cbLen, w.cbHead = n, 0
+		if n > 0 {
+			return
+		}
+	}
+}
+
+// cascade drains the higher-level slot at hiLB, scattering its events
+// into lower levels by their own times: same-grain events sorted-insert
+// into the current level-0 slot (drained by the caller's next
+// iteration), the rest re-bucket wherever their distance now lands.
+func (w *wheel) cascade(k *Kernel) {
+	w.statCascades++
+	lvl := w.hiLvl
+	w.cur = w.hiLB
+	shift := uint(lvl) * wheelSlotBits
+	idx := (w.hiLB >> shift) & wheelMask
+	head := w.hi[lvl-1][idx]
+	w.hi[lvl-1][idx] = nil
+	w.occ[lvl] &^= 1 << idx
+	w.hiOK = false
+	for e := head; e != nil; {
+		nx := e.next
+		e.next = nil
+		if e.canceled {
+			w.count--
+			w.dead--
+			w.slotCount--
+			k.release(e)
+		} else {
+			w.relink(k, e)
+		}
+		e = nx
+	}
+}
+
+// relink re-buckets a slot-resident live event relative to the current
+// cursor during a drain or cascade. A full level-0 slot spills the
+// event to the heap (it leaves the wheel's books but stays scheduled
+// and keeps its EventRef validity; index switches to its heap slot).
+func (w *wheel) relink(k *Kernel, e *event) {
+	wt := uint64(e.at) >> wheelGBits
+	lvl := 0
+	if d := wt - w.cur; d != 0 {
+		lvl = wheelLevelFor(d)
+	}
+	if !w.link(e, lvl, wt) {
+		w.count--
+		w.slotCount--
+		e.index = -1
+		k.push(e)
+	}
+}
+
+// burnWheel executes wheel events with time ≤ end in a fused loop while
+// the heap is empty. With no heap events there is nothing to merge
+// against, so the generic peekLive→fire→schedule call chain — whose
+// per-call spills dominate the ticker-heavy profile — collapses into
+// one loop with the common ticker re-arm (next 63 grains, level 0)
+// inlined. Dispatch is semantically identical to fire: same counter
+// updates, same generation rules, same re-arm-before-handler ordering
+// so the handler can Stop() its own ticker. The loop exits as soon as a
+// handler schedules onto the heap (or stops the kernel), handing back
+// to the caller's general merge loop.
+func (k *Kernel) burnWheel(end Time) {
+	w := k.wheel
+	for len(k.queue) == 0 && !k.stopped {
+		if w.cbHead >= w.cbLen {
+			// Current bucket spent: drain the next one. Advancing may
+			// overshoot end by one bucket; its events stay in cbBuf
+			// unfired (the e.at > end check below), exactly as peekLive
+			// would leave them.
+			if w.slotCount == 0 {
+				return
+			}
+			w.advance(k)
+			continue
+		}
+		e := w.cbBuf[w.cbHead]
+		if e.canceled {
+			w.cbHead++
+			w.count--
+			w.dead--
+			k.release(e)
+			continue
+		}
+		if e.at > end {
+			return
+		}
+		w.cbHead++
+		w.count--
+		k.now = e.at
+		k.EventCount++
+		k.live--
+		if tk := e.tk; tk != nil {
+			// Re-arm before the handler, exactly as fire does; the slot
+			// keeps its generation so tk.ref stays valid (see fire).
+			if !tk.stopped {
+				at := k.now.Add(tk.period)
+				e.at = at
+				e.seq = k.seq
+				k.seq++
+				// Inline level-0 re-arm; peak tracking is skipped because
+				// live only returns to its pre-pop value.
+				wt := uint64(at) >> wheelGBits
+				d := wt - w.cur
+				if n := int(w.s0n[wt&wheelMask]); d != 0 && d < wheelSlots && n < wheelSlotCap {
+					idx := wt & wheelMask
+					s := &w.s0[idx]
+					i := n
+					for i > 0 && lessEv(e, s[i-1]) {
+						s[i] = s[i-1]
+						i--
+					}
+					s[i] = e
+					w.s0n[idx] = uint8(n + 1)
+					w.occ[0] |= 1 << idx
+					w.count++
+					w.slotCount++
+					k.live++
+				} else {
+					e.index = -1
+					k.schedule(e)
+				}
+				tk.fn()
+			} else {
+				e.index = -1
+				e.gen++
+				e.fn = nil
+				e.tk = nil
+				e.canceled = false
+				k.free = append(k.free, e)
+			}
+			continue
+		}
+		e.index = -1
+		e.gen++
+		fn, fn1, arg := e.fn, e.fn1, e.arg
+		e.fn = nil
+		e.fn1 = nil
+		e.arg = nil
+		e.canceled = false
+		k.free = append(k.free, e)
+		if fn1 != nil {
+			fn1(arg)
+		} else {
+			fn()
+		}
+	}
+}
+
+// maybeSweep bulk-recycles canceled residents once they outnumber live
+// ones — the wheel's analog of heap compaction, same thresholds.
+func (k *Kernel) maybeSweep() {
+	w := k.wheel
+	if w != nil && w.count >= compactMinLen && w.dead*2 > w.count {
+		w.sweep(k)
+		k.statCompactions++
+	}
+}
+
+// sweep unlinks every canceled resident from slots and the current
+// bucket, preserving the relative order of survivors.
+func (w *wheel) sweep(k *Kernel) {
+	for o := w.occ[0]; o != 0; o &= o - 1 {
+		idx := bits.TrailingZeros64(o)
+		s := &w.s0[idx]
+		n := int(w.s0n[idx])
+		j := 0
+		for i := 0; i < n; i++ {
+			e := s[i]
+			if e.canceled {
+				w.count--
+				w.dead--
+				w.slotCount--
+				k.release(e)
+			} else {
+				s[j] = e
+				j++
+			}
+		}
+		w.s0n[idx] = uint8(j)
+		if j == 0 {
+			w.occ[0] &^= 1 << idx
+		}
+	}
+	for l := 1; l < wheelLevels; l++ {
+		for o := w.occ[l]; o != 0; o &= o - 1 {
+			idx := bits.TrailingZeros64(o)
+			var prev *event
+			for e := w.hi[l-1][idx]; e != nil; {
+				nx := e.next
+				if e.canceled {
+					if prev == nil {
+						w.hi[l-1][idx] = nx
+					} else {
+						prev.next = nx
+					}
+					e.next = nil
+					w.count--
+					w.dead--
+					w.slotCount--
+					k.release(e)
+				} else {
+					prev = e
+				}
+				e = nx
+			}
+			if w.hi[l-1][idx] == nil {
+				w.occ[l] &^= 1 << idx
+			}
+		}
+	}
+	j := w.cbHead
+	for i := w.cbHead; i < w.cbLen; i++ {
+		if e := w.cbBuf[i]; e.canceled {
+			w.count--
+			w.dead--
+			k.release(e)
+		} else {
+			w.cbBuf[j] = e
+			j++
+		}
+	}
+	w.cbLen = j
+	w.hiOK = false
+}

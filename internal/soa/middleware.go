@@ -92,6 +92,13 @@ type Middleware struct {
 	// (see SetObs). All uses are nil-checked.
 	o *obs.Obs
 
+	// freeDel / freeSeg are free lists of pooled delivery and
+	// segmentation records, so the publish→deliver hot path is
+	// allocation-free in steady state (the kernel is single-threaded, so
+	// plain intrusive lists suffice).
+	freeDel *delivery
+	freeSeg *segState
+
 	// Service-discovery state (see discovery.go).
 	sdToken   uint64
 	sdWaiters map[uint64]func(sdOffer)
@@ -447,35 +454,84 @@ func (e *Endpoint) publish(iface string, seq uint32, bytes int, payload any) {
 		}
 	}
 	for _, sub := range svc.subs {
-		sub := sub
-		ev := Event{Iface: iface, Seq: seq, Bytes: bytes, Payload: payload, Published: now}
-		var sp obs.Span
+		d := e.m.getDelivery()
+		d.svc = svc
+		d.sub = sub
+		d.ev = Event{Iface: iface, Seq: seq, Bytes: bytes, Payload: payload, Published: now}
 		if e.m.o != nil {
-			sp = e.m.o.T.Begin("soa", "deliver", "soa:"+iface, e.app+"->"+sub.ep.app)
+			d.sp = e.m.o.T.Begin("soa", "deliver", "soa:"+iface, e.app+"->"+sub.ep.app)
 		}
-		e.m.transfer(svc, e, sub.ep, HeaderSize+bytes, func() {
-			if sub.gone {
-				// The subscriber was unsubscribed or removed while the
-				// frame was in flight: drop with account, never invoke a
-				// dead subscriber.
-				e.m.DeadLetters++
-				if svc.obsDead != nil {
-					svc.obsDead.Inc()
-				}
-				e.m.o.Tracer().End("soa", "deliver", "soa:"+iface, sp, "dead-letter")
-				e.m.k.Trace("soa", "dead-lettered %s event for removed %s", iface, sub.ep.app)
-				return
-			}
-			ev.Delivered = e.m.k.Now()
-			svc.Latency.AddDuration(ev.Latency())
-			if svc.obsDeliver != nil {
-				svc.obsDeliver.Inc()
-				svc.obsLat.Observe(ev.Latency())
-			}
-			e.m.o.Tracer().End("soa", "deliver", "soa:"+iface, sp, "")
-			sub.fn(ev)
-		})
+		e.m.transferCall(svc, e, sub.ep, HeaderSize+bytes, deliverEvent, d)
 	}
+}
+
+// delivery is a pooled publish→deliver record: everything the delivery
+// callback needs, flattened so the hot path schedules one pre-bound
+// handler with a pooled pointer instead of a fresh closure plus a boxed
+// Event per subscriber.
+type delivery struct {
+	m    *Middleware
+	svc  *service
+	sub  *subscription
+	sp   obs.Span
+	ev   Event
+	next *delivery
+}
+
+func (m *Middleware) getDelivery() *delivery {
+	if d := m.freeDel; d != nil {
+		m.freeDel = d.next
+		d.next = nil
+		return d
+	}
+	return &delivery{m: m}
+}
+
+func (m *Middleware) putDelivery(d *delivery) {
+	d.svc = nil
+	d.sub = nil
+	d.sp = obs.Span{}
+	d.ev = Event{}
+	d.next = m.freeDel
+	m.freeDel = d
+}
+
+// deliverEvent completes one publish→deliver: it is the pre-bound
+// delivery handler scheduled by publish via transferCall, receiving its
+// pooled *delivery record. The record returns to the pool before the
+// subscriber callback runs, so a callback that publishes re-uses it
+// immediately.
+func deliverEvent(arg any) {
+	d := arg.(*delivery)
+	m, svc, sub := d.m, d.svc, d.sub
+	if sub.gone {
+		// The subscriber was unsubscribed or removed while the frame
+		// was in flight: drop with account, never invoke a dead
+		// subscriber.
+		m.DeadLetters++
+		if svc.obsDead != nil {
+			svc.obsDead.Inc()
+		}
+		if m.o != nil {
+			m.o.Tracer().End("soa", "deliver", "soa:"+svc.name, d.sp, "dead-letter")
+		}
+		m.k.Trace("soa", "dead-lettered %s event for removed %s", svc.name, sub.ep.app)
+		m.putDelivery(d)
+		return
+	}
+	ev := d.ev
+	ev.Delivered = m.k.Now()
+	svc.Latency.AddDuration(ev.Latency())
+	if svc.obsDeliver != nil {
+		svc.obsDeliver.Inc()
+		svc.obsLat.Observe(ev.Latency())
+	}
+	if m.o != nil {
+		m.o.Tracer().End("soa", "deliver", "soa:"+svc.name, d.sp, "")
+	}
+	fn := sub.fn
+	m.putDelivery(d)
+	fn(ev)
 }
 
 // observePublish lazily wires the per-service instruments and counts one
@@ -609,8 +665,20 @@ func (e *Endpoint) call(iface string, dedupe uint32, reqBytes int, req any, done
 // full delivery. Same-ECU transfers cost LocalDelay; cross-ECU transfers
 // are segmented to the network MTU and ride the simulated network.
 func (m *Middleware) transfer(svc *service, src, dst *Endpoint, wireBytes int, done func()) {
+	m.transferCall(svc, src, dst, wireBytes, callDone, done)
+}
+
+// callDone invokes a plain func() carried as a transferCall argument
+// (func values are pointer-shaped, so the conversion does not allocate).
+func callDone(arg any) { arg.(func())() }
+
+// transferCall is transfer with a pre-bound completion: fn(arg) runs at
+// full delivery. The local fast path schedules it closure-free via
+// AfterCall; the cross-ECU path rides the simulated network, segmented
+// to the MTU, with a pooled countdown record shared by the segments.
+func (m *Middleware) transferCall(svc *service, src, dst *Endpoint, wireBytes int, fn func(any), arg any) {
 	if src.ecu == dst.ecu {
-		m.k.After(LocalDelay, done)
+		m.k.AfterCall(LocalDelay, fn, arg)
 		return
 	}
 	if svc.netName == "" {
@@ -624,32 +692,50 @@ func (m *Middleware) transfer(svc *service, src, dst *Endpoint, wireBytes int, d
 	if segments == 0 {
 		segments = 1
 	}
-	remaining := segments
+	st := m.getSeg()
+	st.remaining = segments
+	st.fn = fn
+	st.arg = arg
 	for i := 0; i < segments; i++ {
 		bytes := ni.mtu
 		if i == segments-1 {
 			bytes = wireBytes - (segments-1)*ni.mtu
 		}
 		ni.net.Send(network.Message{
-			ID:    svc.id,
-			Src:   src.ecu,
-			Dst:   dst.ecu,
-			Class: svc.class,
-			Bytes: bytes,
-			Payload: segPayload{svc: svc.name, done: func() {
-				remaining--
-				if remaining == 0 {
-					done()
-				}
-			}},
+			ID:      svc.id,
+			Src:     src.ecu,
+			Dst:     dst.ecu,
+			Class:   svc.class,
+			Bytes:   bytes,
+			Payload: st,
 		})
 	}
 }
 
-// segPayload carries segment-completion callbacks through the network.
-type segPayload struct {
-	svc  string
-	done func()
+// segState is a pooled per-transfer countdown shared by a transfer's
+// segments as their network payload; the last segment to arrive fires
+// the completion and recycles the record.
+type segState struct {
+	remaining int
+	fn        func(any)
+	arg       any
+	next      *segState
+}
+
+func (m *Middleware) getSeg() *segState {
+	if st := m.freeSeg; st != nil {
+		m.freeSeg = st.next
+		st.next = nil
+		return st
+	}
+	return &segState{}
+}
+
+func (m *Middleware) putSeg(st *segState) {
+	st.fn = nil
+	st.arg = nil
+	st.next = m.freeSeg
+	m.freeSeg = st
 }
 
 // ensureAttached attaches an ECU station to a network on first use. The
@@ -667,8 +753,13 @@ func (m *Middleware) ensureAttached(ni *netInfo, ecu string) {
 		if m.handleSD(ecu, d) {
 			return
 		}
-		if sp, ok := d.Msg.Payload.(segPayload); ok {
-			sp.done()
+		if st, ok := d.Msg.Payload.(*segState); ok {
+			st.remaining--
+			if st.remaining == 0 {
+				fn, arg := st.fn, st.arg
+				m.putSeg(st)
+				fn(arg)
+			}
 		}
 	})
 }

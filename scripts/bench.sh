@@ -3,8 +3,17 @@
 # experiment benchmarks (whose `holds` metric doubles as a reproduction
 # check), then write a machine-readable summary to BENCH_sim.json.
 #
-#   scripts/bench.sh            # full run
+#   scripts/bench.sh            # full run, rewrites BENCH_sim.json
+#   scripts/bench.sh --smoke    # one iteration each, no rewrite (CI gate)
+#   scripts/bench.sh --compare  # kernel benches vs committed baseline
 #   BENCHTIME=2s scripts/bench.sh
+#
+# --compare re-runs the kernel micro-benchmarks and fails when any is
+# more than 20% slower (ns/op) than the committed BENCH_sim.json —
+# the pre-merge guard for kernel hot-path work. Benchmarks absent from
+# the baseline are reported and skipped. ns/op comparisons are only
+# meaningful on the machine that recorded the baseline; rewrite the
+# baseline (plain run) when switching hardware.
 #
 # The JSON has three sections:
 #   kernel:      ns/op, B/op, allocs/op per micro-benchmark
@@ -18,6 +27,11 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="BENCH_sim.json"
 
+# Kernel micro-benchmark set. BenchmarkTickerHeavy also matches its
+# HeapOnly and 1024 variants; the heap-only number is the denominator of
+# the timing wheel's measured speedup.
+KERNEL_PAT='BenchmarkScheduleFire|BenchmarkCancelHeavy|BenchmarkTickerHeavy|BenchmarkWheelCascade|BenchmarkMixed|BenchmarkKernelScheduleRun'
+
 # --smoke: one iteration per benchmark and no BENCH_sim.json rewrite —
 # a fast CI gate that still compiles and executes every benchmark
 # (and therefore every experiment's `holds` reproduction check).
@@ -29,8 +43,50 @@ if [ "${1:-}" = "--smoke" ]; then
   trap 'rm -f "$OUT"' EXIT
 fi
 
-kernel_raw=$(go test -run '^$' \
-  -bench 'BenchmarkScheduleFire|BenchmarkCancelHeavy|BenchmarkTickerHeavy|BenchmarkMixed|BenchmarkKernelScheduleRun' \
+if [ "${1:-}" = "--compare" ]; then
+  if [ ! -f "$OUT" ]; then
+    echo "bench.sh --compare: no $OUT baseline" >&2
+    exit 1
+  fi
+  kernel_raw=$(go test -run '^$' -bench "$KERNEL_PAT" \
+    -benchmem -benchtime "$BENCHTIME" ./internal/sim/)
+  echo "$kernel_raw" | awk -v basefile="$OUT" '
+    BEGIN {
+      while ((getline line < basefile) > 0) {
+        if (line ~ /"name": "Benchmark/) {
+          match(line, /"name": "[^"]+"/)
+          name = substr(line, RSTART+9, RLENGTH-10)
+          if (match(line, /"ns_per_op": [0-9.]+/))
+            base[name] = substr(line, RSTART+13, RLENGTH-13) + 0
+        }
+      }
+      close(basefile)
+    }
+    /^Benchmark/ {
+      name=$1; sub(/-[0-9]+$/, "", name)
+      ns=""
+      for (i=2; i<=NF; i++) if ($i == "ns/op") ns=$(i-1)
+      if (ns == "") next
+      if (!(name in base)) {
+        printf "  %-40s %14.0f ns/op   (new, no baseline)\n", name, ns
+        next
+      }
+      r = ns / base[name]
+      flag = (r > 1.20) ? "  REGRESSION >20%" : ""
+      printf "  %-40s %14.0f ns/op   baseline %14.0f   ratio %.2f%s\n", name, ns, base[name], r, flag
+      if (r > 1.20) bad++
+    }
+    END {
+      if (bad > 0) {
+        printf "bench.sh --compare: %d kernel benchmark regression(s) exceed 20%% vs %s\n", bad, basefile > "/dev/stderr"
+        exit 1
+      }
+      print "bench.sh --compare: kernel benchmarks within 20% of baseline"
+    }'
+  exit $?
+fi
+
+kernel_raw=$(go test -run '^$' -bench "$KERNEL_PAT" \
   -benchmem -benchtime "$BENCHTIME" ./internal/sim/)
 
 overhead_raw=$(go test -run '^$' -bench 'BenchmarkPublishDeliver' \
