@@ -1,6 +1,6 @@
 package dynaplat
 
-// One benchmark per experiment in EXPERIMENTS.md (E1–E21). Each
+// One benchmark per experiment in EXPERIMENTS.md (E1–E24). Each
 // iteration regenerates the experiment's full result table on the
 // simulated substrate; the custom "holds" metric reports whether the
 // paper-derived expectation held (1) or not (0), so a bench run doubles
@@ -54,6 +54,7 @@ func BenchmarkE19ServiceDiscovery(b *testing.B) { benchExperiment(b, "E19") }
 func BenchmarkE20ParetoFront(b *testing.B)      { benchExperiment(b, "E20") }
 func BenchmarkE21FaultCampaign(b *testing.B)    { benchExperiment(b, "E21") }
 func BenchmarkE22Reconfig(b *testing.B)         { benchExperiment(b, "E22") }
+func BenchmarkE24MeshOverload(b *testing.B)     { benchExperiment(b, "E24") }
 
 // BenchmarkEndToEndSimulation measures the facade's full-vehicle
 // simulation throughput (virtual seconds simulated per wall run).

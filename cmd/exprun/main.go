@@ -13,7 +13,7 @@
 // Experiments fan out across GOMAXPROCS workers by default; every
 // experiment owns an independent simulation kernel, so parallel output
 // is byte-identical to the serial run (tables are always emitted in
-// canonical E1..E22 order).
+// canonical E1..E24 order).
 //
 // -trace / -metrics switch to the observed serial harness (DESIGN.md
 // §7): experiments with observed runners (see `exprun -list`) are

@@ -1,5 +1,5 @@
 // Package experiments contains one runner per experiment in EXPERIMENTS.md
-// (E1–E22), each reproducing a figure or claim of the paper on the
+// (E1–E24), each reproducing a figure or claim of the paper on the
 // simulated substrate and returning a printable result table.
 //
 // The paper is a vision paper without quantitative tables; the experiment
@@ -192,7 +192,7 @@ func RunAll(w io.Writer) []*Table { return renderAll(w, 1) }
 
 // RunAllParallel executes every experiment across a worker pool (one
 // independent kernel per experiment) and renders the tables to w in
-// canonical E1..E22 order. Output is byte-identical to RunAll.
+// canonical E1..E24 order. Output is byte-identical to RunAll.
 func RunAllParallel(w io.Writer, workers int) []*Table { return renderAll(w, workers) }
 
 func renderAll(w io.Writer, workers int) []*Table {

@@ -9,14 +9,21 @@ import (
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 22 {
-		t.Fatalf("experiments = %d (%v), want 22", len(ids), ids)
+	if len(ids) != 23 {
+		t.Fatalf("experiments = %d (%v), want 23", len(ids), ids)
 	}
+	// E1..E22 are dense; E23 is reserved, so numbering after it is
+	// strictly increasing rather than consecutive.
+	prev := 0
 	for i, id := range ids {
-		want := i + 1
-		if expNum(id) != want {
-			t.Errorf("ids[%d] = %s, want E%d", i, id, want)
+		n := expNum(id)
+		if n <= prev {
+			t.Errorf("ids[%d] = %s out of order (after E%d)", i, id, prev)
 		}
+		prev = n
+	}
+	if ids[0] != "E1" || ids[len(ids)-1] != "E24" {
+		t.Errorf("ids span %s..%s, want E1..E24", ids[0], ids[len(ids)-1])
 	}
 }
 

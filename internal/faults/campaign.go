@@ -146,6 +146,32 @@ func (c *Campaign) AddNetwork(nf *NetFaults) {
 	c.nets = append(c.nets, nf)
 }
 
+// HookECULifecycle chains an ECU up/down observer onto the campaign's
+// OnInject/OnRepair hooks: onDown fires at the exact instant a
+// silencing fault (Kind.Silences) is applied to an ECU, onUp at its
+// repair. Previously installed hooks keep firing first, so routing
+// layers (the soa mesh's eviction/re-admission) and measurement hooks
+// compose on one campaign.
+func (c *Campaign) HookECULifecycle(onDown, onUp func(ecu string)) {
+	prevInject, prevRepair := c.OnInject, c.OnRepair
+	c.OnInject = func(inj Injection) {
+		if prevInject != nil {
+			prevInject(inj)
+		}
+		if inj.Kind.Silences() && onDown != nil {
+			onDown(inj.Target)
+		}
+	}
+	c.OnRepair = func(inj Injection) {
+		if prevRepair != nil {
+			prevRepair(inj)
+		}
+		if inj.Kind.Silences() && onUp != nil {
+			onUp(inj.Target)
+		}
+	}
+}
+
 // Start materializes the activation schedule from the seed and arms a
 // kernel event per activation/repair. Calling Start twice panics.
 func (c *Campaign) Start() {

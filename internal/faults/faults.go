@@ -84,6 +84,13 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// Silences reports whether the kind silences its target ECU — the node
+// stops executing and leaves its networks until repair (crash, hang,
+// reboot). Slowdowns degrade but keep the node reachable.
+func (k Kind) Silences() bool {
+	return k == ECUCrash || k == ECUHang || k == ECUReboot
+}
+
 // Phase distinguishes activation from repair in the campaign log.
 type Phase int
 

@@ -1,0 +1,30 @@
+package fixture
+
+import "dynaplat/internal/sim"
+
+// breakerLike mirrors the mesh circuit breaker's open→half-open timer:
+// trip arms a cool-down whose handler is a durable method value, so the
+// ref must be kept on the struct for close/teardown to cancel.
+type breakerLike struct {
+	k         *sim.Kernel
+	open      bool
+	reopenRef sim.EventRef
+}
+
+// tripKept keeps the reopen ref — the shape breaker.go uses. Clean.
+func (b *breakerLike) tripKept(cool sim.Duration) {
+	b.open = true
+	if b.reopenRef.Pending() {
+		b.reopenRef.Cancel()
+	}
+	b.reopenRef = b.k.After(cool, b.halfOpen)
+}
+
+// tripDropped re-arms the cool-down without keeping the handle: a
+// re-trip or teardown can no longer cancel the stale transition.
+func (b *breakerLike) tripDropped(cool sim.Duration) {
+	b.open = true
+	b.k.After(cool, b.halfOpen) // want:droppedref
+}
+
+func (b *breakerLike) halfOpen() { b.open = false }

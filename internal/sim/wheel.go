@@ -423,7 +423,11 @@ func (w *wheel) relink(k *Kernel, e *event) {
 	if d := wt - w.cur; d != 0 {
 		lvl = wheelLevelFor(d)
 	}
-	if !w.link(e, lvl, wt) {
+	// A cascade can move the cursor backward (to the drained slot's
+	// start), so a lapped resident's distance may now exceed the wheel
+	// horizon — the same beyond-horizon case tryWheel routes to the
+	// heap. Without this guard lvl indexes past the level arrays.
+	if lvl >= wheelLevels || !w.link(e, lvl, wt) {
 		w.count--
 		w.slotCount--
 		e.index = -1

@@ -48,6 +48,14 @@ func (e *Endpoint) Discover(iface string, timeout sim.Duration, done func(Discov
 		timeout = 100 * sim.Millisecond
 	}
 	svc, ok := e.m.svcs[iface]
+	if ok && e.m.ECUDown(svc.provider.ecu) {
+		// The provider's ECU is silenced by a fault: neither the local
+		// registry nor the wire may answer for it — the find times out
+		// exactly as it would against a crashed ECU, instead of handing
+		// the client a stale listing (the eviction fix).
+		e.m.k.After(timeout, func() { done(DiscoveryResult{}) })
+		return
+	}
 	if ok && (svc.provider.ecu == e.ecu || svc.netName == "") {
 		// Local provider (or local-only service): registry answer.
 		e.m.k.After(LocalDelay, func() {
@@ -100,6 +108,11 @@ func (m *Middleware) handleSD(station string, d network.Delivery) bool {
 		svc, ok := m.svcs[p.iface]
 		if !ok || svc.provider.ecu != station || svc.netName == "" {
 			return true // not ours to answer
+		}
+		if m.ECUDown(station) {
+			// A find that slipped through while this station's fault was
+			// being injected: a down ECU never answers SD.
+			return true
 		}
 		ni := m.nets[svc.netName]
 		m.k.Trace("soa-sd", "%s answers find(%s) from %s", station, p.iface, p.fromECU)

@@ -88,6 +88,17 @@ type Middleware struct {
 
 	attachedStations map[string]bool
 
+	// ecuDown marks ECUs silenced by a fault (crash/hang/reboot): their
+	// providers stop answering service discovery until repair (see
+	// SetECUDown and discovery.go). Routing layers above — the mesh —
+	// additionally stop selecting instances hosted there.
+	ecuDown map[string]bool
+
+	// jitterSeed salts the per-session retry-jitter streams
+	// (sessionJitter); fixed per middleware so jitter draws are a pure
+	// function of (seed, session) regardless of global RNG ordering.
+	jitterSeed uint64
+
 	// o, when non-nil, receives metrics and publish→deliver spans
 	// (see SetObs). All uses are nil-checked.
 	o *obs.Obs
@@ -217,6 +228,36 @@ func New(k *sim.Kernel, auth Authorizer) *Middleware {
 		eps:       map[string]*Endpoint{},
 		sdWaiters: map[uint64]func(sdOffer){},
 	}
+}
+
+// SetECUDown marks (or clears) an ECU as silenced by a fault. While
+// down, its providers do not answer service discovery — neither the
+// instant local-registry path nor the wire SOME/IP-SD path — so a
+// Discover against a crashed provider times out instead of returning a
+// stale listing. Fault campaigns drive this via Mesh.HookCampaign (or
+// directly from their own OnInject/OnRepair hooks).
+func (m *Middleware) SetECUDown(ecu string, down bool) {
+	if m.ecuDown == nil {
+		m.ecuDown = map[string]bool{}
+	}
+	m.ecuDown[ecu] = down
+}
+
+// ECUDown reports whether an ECU is currently marked down.
+func (m *Middleware) ECUDown(ecu string) bool { return m.ecuDown[ecu] }
+
+// SetJitterSeed salts the per-session retry-jitter streams. The default
+// (zero) is valid; experiments set a distinct seed per run so jitter
+// decorrelates across cells while staying reproducible.
+func (m *Middleware) SetJitterSeed(seed uint64) { m.jitterSeed = seed }
+
+// sessionJitter returns the seeded jitter stream of one RPC session.
+// Each session gets its own splitmix-derived stream, so the draws a
+// retrying call makes are independent of every other session's —
+// interleaved retries consume nothing from a shared RNG, which keeps
+// parallel experiment replays byte-identical (RunAllParallel).
+func (m *Middleware) sessionJitter(session uint32) *sim.RNG {
+	return sim.NewRNG(m.jitterSeed ^ 0x9E3779B97F4A7C15*uint64(session) ^ 0xD1B54A32D192ED03)
 }
 
 // SetAuthorizer swaps the binding authorizer (runtime permission updates,

@@ -27,8 +27,9 @@ type RetryPolicy struct {
 	// Multiplier is the backoff growth factor (default 2).
 	Multiplier float64
 	// JitterFrac spreads each backoff uniformly over ±frac of itself,
-	// drawn from the simulation RNG — deterministic per seed, but
-	// decorrelated across retrying clients.
+	// drawn from a per-session seeded stream (Middleware.sessionJitter)
+	// — deterministic per (jitter seed, session), decorrelated across
+	// retrying clients, and immune to interleaving with other sessions.
 	JitterFrac float64
 	// Budget bounds the whole call (first attempt to final verdict).
 	// Attempts that cannot complete a per-try timeout within the
@@ -86,6 +87,13 @@ func (e *Endpoint) CallRetry(iface string, reqBytes int, req any,
 		deadline = start.Add(pol.Budget)
 	}
 	settled := false
+	// jitter is this session's private backoff-jitter stream, created on
+	// first use. Drawing from a per-session seeded stream (instead of the
+	// shared kernel RNG) makes each call's jitter a pure function of its
+	// session number: interleaved retries from thousands of concurrent
+	// sessions cannot perturb each other's draws, so overload sweeps
+	// replay byte-identically under RunAllParallel.
+	var jitter *sim.RNG
 	fail := func() {
 		if settled {
 			return
@@ -123,8 +131,11 @@ func (e *Endpoint) CallRetry(iface string, reqBytes int, req any,
 			}
 			wait := backoff
 			if pol.JitterFrac > 0 {
+				if jitter == nil {
+					jitter = m.sessionJitter(session)
+				}
 				span := sim.Duration(float64(wait) * pol.JitterFrac)
-				wait += m.k.RNG().DurationRange(-span, span)
+				wait += jitter.DurationRange(-span, span)
 				if wait < 0 {
 					wait = 0
 				}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the sim kernel micro-benchmarks and the E1–E22
+# bench.sh — run the sim kernel micro-benchmarks and the E1–E24
 # experiment benchmarks (whose `holds` metric doubles as a reproduction
 # check), then write a machine-readable summary to BENCH_sim.json.
 #

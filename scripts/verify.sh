@@ -3,7 +3,7 @@
 #
 # Extends the historic `go build ./... && go test ./...` gate with
 # `go vet` and the race detector; `go test -race ./...` exercises the
-# parallel experiment harness (internal/experiments fans E1–E22 across
+# parallel experiment harness (internal/experiments fans E1–E24 across
 # GOMAXPROCS workers), so a data race between experiments fails CI here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -49,6 +49,16 @@ go test -run TestFaultCampaignDeterministic -count=2 ./internal/experiments/
 # (internal/reconfig).
 echo "==> self-healing determinism soak (E22 x2)"
 go test -run TestE22Deterministic -count=2 ./internal/experiments/
+
+# Service-mesh soak: the E24 overload sweep (replicated providers,
+# client-side balancing, circuit breakers, criticality-aware shedding)
+# must render byte-identically on repeated runs, and the fully
+# instrumented run must match the plain one byte for byte — the
+# determinism contract of the mesh routing plane (internal/soa mesh).
+echo "==> service-mesh determinism soak (E24 x2)"
+go test -run TestE24Deterministic -count=2 ./internal/experiments/
+echo "==> service-mesh observed-matches-plain (E24)"
+go test -run TestE24ObservedMatchesPlain -count=1 ./internal/experiments/
 
 # Observability determinism soak: the Chrome trace and metrics dump of
 # an observed E21 run must be byte-identical across runs and across
