@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"dynaplat/internal/experiments"
+	"dynaplat/internal/fleet"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -54,7 +55,27 @@ func BenchmarkE19ServiceDiscovery(b *testing.B) { benchExperiment(b, "E19") }
 func BenchmarkE20ParetoFront(b *testing.B)      { benchExperiment(b, "E20") }
 func BenchmarkE21FaultCampaign(b *testing.B)    { benchExperiment(b, "E21") }
 func BenchmarkE22Reconfig(b *testing.B)         { benchExperiment(b, "E22") }
+func BenchmarkE23FleetRollout(b *testing.B)     { benchExperiment(b, "E23") }
 func BenchmarkE24MeshOverload(b *testing.B)     { benchExperiment(b, "E24") }
+
+// BenchmarkFleetRollout measures raw fleet-simulation throughput: one
+// 500-vehicle sharded campaign (heterogeneous variants, verified staged
+// updates, 10% seeded bad images) per iteration, reported as
+// vehicles/min. The fleet layer's sizing target is ≥10k vehicles/minute.
+func BenchmarkFleetRollout(b *testing.B) {
+	vehicles := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := fleet.RunCampaign(fleet.CampaignConfig{
+			FleetSeed: 0xBE7C4, Vehicles: 500,
+			Update: fleet.UpdateSpec{Verify: true, FaultProb: 0.1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vehicles += len(rep.Vehicles)
+	}
+	b.ReportMetric(float64(vehicles)/b.Elapsed().Minutes(), "vehicles/min")
+}
 
 // BenchmarkEndToEndSimulation measures the facade's full-vehicle
 // simulation throughput (virtual seconds simulated per wall run).

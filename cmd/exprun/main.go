@@ -5,7 +5,7 @@
 //	exprun -list          # list experiment IDs
 //	exprun -json          # machine-readable output (one JSON object per line)
 //	exprun -parallel=false  # force the serial harness
-//	exprun -workers 4     # cap the worker pool
+//	exprun -workers 4     # cap the worker pool (implies -parallel)
 //	exprun -trace t.json -metrics m.txt E21
 //	                      # observed run: Chrome trace + metrics dump
 //	exprun -tracecap N    # bound retained trace records per scope
@@ -14,6 +14,12 @@
 // experiment owns an independent simulation kernel, so parallel output
 // is byte-identical to the serial run (tables are always emitted in
 // canonical E1..E24 order).
+//
+// -workers and -parallel interact explicitly: -workers N (N ≥ 2)
+// implies -parallel, -workers 1 is the serial harness, and combining
+// an explicit -parallel=false with -workers N ≥ 2 is a contradiction
+// and a usage error — the pool is never sized behind the user's back.
+// Negative worker counts are rejected.
 //
 // -trace / -metrics switch to the observed serial harness (DESIGN.md
 // §7): experiments with observed runners (see `exprun -list`) are
@@ -32,6 +38,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -40,14 +47,57 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list experiment IDs and exit")
-	asJSON := flag.Bool("json", false, "emit JSON lines instead of tables")
-	parallel := flag.Bool("parallel", true, "fan experiments out across a worker pool")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; implies -parallel)")
-	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (observed serial run)")
-	metricsOut := flag.String("metrics", "", "write a plain-text metrics dump (observed serial run)")
-	traceCap := flag.Int("tracecap", 0, "max retained trace records per scope (0 = unbounded)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// workerCount resolves the -parallel / -workers interaction. explicit
+// reports whether the user set the flag on the command line (flags left
+// at their defaults never conflict).
+func workerCount(parallel bool, parallelExplicit bool, workers int) (int, error) {
+	if workers < 0 {
+		return 0, fmt.Errorf("-workers %d: worker count must be ≥ 0", workers)
+	}
+	switch {
+	case workers == 0:
+		if !parallel {
+			return 1, nil
+		}
+		return runtime.GOMAXPROCS(0), nil
+	case workers == 1:
+		return 1, nil
+	default: // workers ≥ 2 implies -parallel
+		if parallelExplicit && !parallel {
+			return 0, fmt.Errorf("-parallel=false contradicts -workers %d (a pool of %d is parallel)",
+				workers, workers)
+		}
+		return workers, nil
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("exprun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	asJSON := fs.Bool("json", false, "emit JSON lines instead of tables")
+	parallel := fs.Bool("parallel", true, "fan experiments out across a worker pool")
+	workers := fs.Int("workers", 0,
+		"worker pool size (0 = GOMAXPROCS; ≥2 implies -parallel; clashes with an explicit -parallel=false)")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (observed serial run)")
+	metricsOut := fs.String("metrics", "", "write a plain-text metrics dump (observed serial run)")
+	traceCap := fs.Int("tracecap", 0, "max retained trace records per scope (0 = unbounded)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: exprun [flags] [experiment IDs]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	parallelExplicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			parallelExplicit = true
+		}
+	})
 
 	if *list {
 		obsIDs := map[string]bool{}
@@ -56,69 +106,69 @@ func main() {
 		}
 		for _, id := range experiments.IDs() {
 			if obsIDs[id] {
-				fmt.Println(id, "(observable)")
+				fmt.Fprintln(stdout, id, "(observable)")
 			} else {
-				fmt.Println(id)
+				fmt.Fprintln(stdout, id)
 			}
 		}
-		return
+		return 0
 	}
 
-	ids := flag.Args()
+	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
 
 	if *traceOut != "" || *metricsOut != "" {
-		if err := runObserved(ids, *traceOut, *metricsOut, *traceCap, *asJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "exprun:", err)
-			os.Exit(2)
+		if err := runObserved(ids, *traceOut, *metricsOut, *traceCap, *asJSON, stdout); err != nil {
+			fmt.Fprintln(stderr, "exprun:", err)
+			return 2
 		}
-		return
+		return 0
 	}
 
-	n := 1
-	if *parallel || *workers > 0 {
-		n = *workers
-		if n <= 0 {
-			n = runtime.GOMAXPROCS(0)
-		}
+	n, err := workerCount(*parallel, parallelExplicit, *workers)
+	if err != nil {
+		fmt.Fprintln(stderr, "exprun:", err)
+		fs.Usage()
+		return 2
 	}
 	tables, err := experiments.RunTables(ids, n)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "exprun:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "exprun:", err)
+		return 2
 	}
 
 	violations := 0
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	for _, t := range tables {
 		if *asJSON {
 			if err := enc.Encode(t); err != nil {
-				fmt.Fprintln(os.Stderr, "exprun:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "exprun:", err)
+				return 2
 			}
 		} else {
-			t.Render(os.Stdout)
+			t.Render(stdout)
 		}
 		if !t.Holds {
 			violations++
 		}
 	}
 	if violations > 0 {
-		fmt.Fprintf(os.Stderr, "exprun: %d expectation(s) violated\n", violations)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "exprun: %d expectation(s) violated\n", violations)
+		return 1
 	}
+	return 0
 }
 
 // runObserved executes the requested experiments serially with
 // instrumentation and writes the combined trace/metrics artifacts.
-func runObserved(ids []string, traceOut, metricsOut string, traceCap int, asJSON bool) error {
+func runObserved(ids []string, traceOut, metricsOut string, traceCap int, asJSON bool, stdout io.Writer) error {
 	experiments.ObsTraceCap = traceCap
 	var scopes []obs.Scope
 	var runs []*experiments.ObsRun
 	violations := 0
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	for _, id := range ids {
 		run, err := experiments.RunObserved(id)
 		if err != nil {
@@ -131,9 +181,9 @@ func runObserved(ids []string, traceOut, metricsOut string, traceCap int, asJSON
 				return err
 			}
 		} else {
-			run.Table.Render(os.Stdout)
+			run.Table.Render(stdout)
 		}
-		fmt.Printf("  metrics[%s]: %s\n\n", id, run.Summary())
+		fmt.Fprintf(stdout, "  metrics[%s]: %s\n\n", id, run.Summary())
 		if !run.Table.Holds {
 			violations++
 		}
@@ -144,7 +194,7 @@ func runObserved(ids []string, traceOut, metricsOut string, traceCap int, asJSON
 		}); err != nil {
 			return err
 		}
-		fmt.Printf("wrote trace: %s (%d scopes)\n", traceOut, len(scopes))
+		fmt.Fprintf(stdout, "wrote trace: %s (%d scopes)\n", traceOut, len(scopes))
 	}
 	if metricsOut != "" {
 		if err := writeFileBuffered(metricsOut, func(w *bufio.Writer) error {
@@ -157,7 +207,7 @@ func runObserved(ids []string, traceOut, metricsOut string, traceCap int, asJSON
 		}); err != nil {
 			return err
 		}
-		fmt.Printf("wrote metrics: %s\n", metricsOut)
+		fmt.Fprintf(stdout, "wrote metrics: %s\n", metricsOut)
 	}
 	if violations > 0 {
 		return fmt.Errorf("%d expectation(s) violated", violations)

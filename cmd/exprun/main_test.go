@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCmd drives run() the way main would and captures both streams.
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestWorkerCountResolution(t *testing.T) {
+	cases := []struct {
+		parallel, explicit bool
+		workers            int
+		want               int
+		wantErr            bool
+	}{
+		{parallel: true, workers: 0, want: -1}, // GOMAXPROCS (checked as ≥1)
+		{parallel: false, explicit: true, workers: 0, want: 1},
+		{parallel: true, workers: 1, want: 1},
+		{parallel: false, explicit: true, workers: 1, want: 1},
+		{parallel: true, workers: 4, want: 4},
+		{parallel: true, explicit: true, workers: 4, want: 4},
+		{parallel: false, explicit: true, workers: 4, wantErr: true},
+		{parallel: true, workers: -3, wantErr: true},
+		{parallel: false, explicit: true, workers: -3, wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := workerCount(c.parallel, c.explicit, c.workers)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("workerCount(%v,%v,%d) accepted, want error", c.parallel, c.explicit, c.workers)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("workerCount(%v,%v,%d): %v", c.parallel, c.explicit, c.workers, err)
+			continue
+		}
+		if c.want == -1 {
+			if got < 1 {
+				t.Errorf("workerCount(%v,%v,%d) = %d, want ≥ 1", c.parallel, c.explicit, c.workers, got)
+			}
+		} else if got != c.want {
+			t.Errorf("workerCount(%v,%v,%d) = %d, want %d", c.parallel, c.explicit, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestSerialFlagHonored: -parallel=false runs serially and -workers on
+// top of it is an explicit usage error, never a silent override.
+func TestSerialFlagHonored(t *testing.T) {
+	code, out, _ := runCmd("-parallel=false", "E1")
+	if code != 0 {
+		t.Fatalf("serial run exit %d", code)
+	}
+	if !strings.Contains(out, "E1") {
+		t.Errorf("serial run produced no E1 table:\n%s", out)
+	}
+
+	code, _, errOut := runCmd("-parallel=false", "-workers", "4", "E1")
+	if code != 2 {
+		t.Fatalf("contradictory flags exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "-parallel=false contradicts -workers 4") {
+		t.Errorf("contradiction not explained: %s", errOut)
+	}
+}
+
+// TestWorkersImpliesParallel: -workers without -parallel fans out (and
+// matches the serial rendering byte for byte).
+func TestWorkersImpliesParallel(t *testing.T) {
+	ids := []string{"E1", "E2", "E4"}
+	code, serial, _ := runCmd(append([]string{"-parallel=false"}, ids...)...)
+	if code != 0 {
+		t.Fatalf("serial exit %d", code)
+	}
+	code, par, _ := runCmd(append([]string{"-workers", "3"}, ids...)...)
+	if code != 0 {
+		t.Fatalf("-workers 3 exit %d", code)
+	}
+	if serial != par {
+		t.Error("-workers 3 rendering differs from serial run")
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	code, _, errOut := runCmd("-workers=-2", "E1")
+	if code != 2 {
+		t.Fatalf("negative workers exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "must be ≥ 0") {
+		t.Errorf("negative workers not explained: %s", errOut)
+	}
+}
+
+func TestListAndUnknownID(t *testing.T) {
+	code, out, _ := runCmd("-list")
+	if code != 0 || !strings.Contains(out, "E23") {
+		t.Errorf("-list exit %d, output missing E23:\n%s", code, out)
+	}
+	code, _, errOut := runCmd("E9999")
+	if code != 2 || !strings.Contains(errOut, "E9999") {
+		t.Errorf("unknown id: exit %d, stderr %q", code, errOut)
+	}
+}

@@ -11,11 +11,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
+
+	"dynaplat/internal/par"
 )
 
 // Table is one experiment's result.
@@ -145,6 +144,11 @@ func Run(id string) (*Table, error) {
 // pool; each experiment builds its own seeded kernel, so the resulting
 // tables are bit-identical to a serial run regardless of worker count or
 // goroutine interleaving. workers <= 0 means GOMAXPROCS.
+//
+// A panicking runner does not crash the process: the pool recovers it,
+// lets in-flight siblings finish, and RunTables returns an error naming
+// the experiment that failed (wrapping par.PanicError, so the original
+// panic value and stack stay reachable).
 func RunTables(ids []string, workers int) ([]*Table, error) {
 	runners := make([]Runner, len(ids))
 	for i, id := range ids {
@@ -154,36 +158,15 @@ func RunTables(ids []string, workers int) ([]*Table, error) {
 		}
 		runners[i] = r
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(runners) {
-		workers = len(runners)
-	}
 	out := make([]*Table, len(runners))
-	if workers <= 1 {
-		for i, r := range runners {
-			out[i] = r()
+	if err := par.ForEach(len(runners), workers, func(i int) {
+		out[i] = runners[i]()
+	}); err != nil {
+		if pe, ok := err.(*par.PanicError); ok {
+			return nil, fmt.Errorf("experiments: %s panicked: %w", ids[pe.Index], pe)
 		}
-		return out, nil
+		return nil, err
 	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= len(runners) {
-					return
-				}
-				out[i] = runners[i]()
-			}
-		}()
-	}
-	wg.Wait()
 	return out, nil
 }
 
@@ -198,7 +181,9 @@ func RunAllParallel(w io.Writer, workers int) []*Table { return renderAll(w, wor
 func renderAll(w io.Writer, workers int) []*Table {
 	out, err := RunTables(IDs(), workers)
 	if err != nil {
-		panic(err) // unreachable: IDs() only yields registered ids
+		// IDs() only yields registered ids, so the only way here is a
+		// runner panic — re-raise it with the experiment ID attached.
+		panic(err)
 	}
 	for _, t := range out {
 		t.Render(w)

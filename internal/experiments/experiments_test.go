@@ -9,11 +9,10 @@ import (
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 23 {
-		t.Fatalf("experiments = %d (%v), want 23", len(ids), ids)
+	if len(ids) != 24 {
+		t.Fatalf("experiments = %d (%v), want 24", len(ids), ids)
 	}
-	// E1..E22 are dense; E23 is reserved, so numbering after it is
-	// strictly increasing rather than consecutive.
+	// E1..E24 are dense and strictly increasing.
 	prev := 0
 	for i, id := range ids {
 		n := expNum(id)

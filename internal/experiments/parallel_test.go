@@ -2,8 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"runtime"
+	"strings"
 	"testing"
+
+	"dynaplat/internal/par"
 )
 
 // renderTables renders a table slice the way exprun would.
@@ -83,6 +87,31 @@ func TestRunTablesSubsetAndOrder(t *testing.T) {
 	for i, id := range ids {
 		if tables[i].ID != id {
 			t.Errorf("tables[%d].ID = %s, want %s (order must match request)", i, tables[i].ID, id)
+		}
+	}
+}
+
+// TestRunTablesPanicContained: a panicking runner must not crash the
+// process or leave sibling workers running; RunTables returns an error
+// naming the failing experiment instead.
+func TestRunTablesPanicContained(t *testing.T) {
+	register("E999", func() *Table { panic("seeded runner explosion") })
+	defer delete(registry, "E999")
+
+	for _, workers := range []int{1, 4} {
+		tables, err := RunTables([]string{"E1", "E999", "E2"}, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: panicking runner produced no error (tables=%v)", workers, tables)
+		}
+		if !strings.Contains(err.Error(), "E999") {
+			t.Errorf("workers=%d: error %q does not name the failing experiment", workers, err)
+		}
+		var pe *par.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %T does not wrap *par.PanicError", workers, err)
+		}
+		if pe.Value != "seeded runner explosion" {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
 		}
 	}
 }

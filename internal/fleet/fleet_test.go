@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const testSeed = 0xF1EE7
+
+// renderCampaign runs a campaign and returns its canonical rendering.
+func renderCampaign(t *testing.T, cfg CampaignConfig) string {
+	t.Helper()
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	return buf.String()
+}
+
+func TestRunVehicleDeterministic(t *testing.T) {
+	upd := UpdateSpec{Verify: true, FaultProb: 0.3}
+	for i := 0; i < 10; i++ {
+		a := RunVehicle(testSeed, i, upd).Render()
+		b := RunVehicle(testSeed, i, upd).Render()
+		if a != b {
+			t.Fatalf("vehicle %d not deterministic:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+}
+
+// TestVehicleSeedIndependence is the fleet layer's core determinism
+// property: vehicle i's report is a pure function of fleetSeed ⊕ i. The
+// rendered report must be byte-identical whether the vehicle runs alone,
+// inside a 10-vehicle fleet, or inside a 1000-vehicle sharded fleet —
+// at any worker count.
+func TestVehicleSeedIndependence(t *testing.T) {
+	upd := UpdateSpec{Verify: true, FaultProb: 0.3}
+	alone := make(map[int]string)
+	for _, i := range []int{0, 3, 7, 9, 137, 500, 999} {
+		alone[i] = RunVehicle(testSeed, i, upd).Render()
+	}
+
+	small, err := RunCampaign(CampaignConfig{
+		FleetSeed: testSeed, Vehicles: 10, Update: upd, Workers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 3, 7, 9} {
+		if got := small.Vehicles[i].Render(); got != alone[i] {
+			t.Errorf("vehicle %d differs in 10-vehicle fleet:\nalone: %s\nfleet: %s",
+				i, alone[i], got)
+		}
+	}
+
+	for _, workers := range []int{1, 4, 13} {
+		big, err := RunCampaign(CampaignConfig{
+			FleetSeed: testSeed, Vehicles: 1000, Update: upd, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(big.Vehicles) != 1000 {
+			t.Fatalf("workers=%d: %d vehicle reports, want 1000", workers, len(big.Vehicles))
+		}
+		for i, want := range alone {
+			if got := big.Vehicles[i].Render(); got != want {
+				t.Errorf("workers=%d: vehicle %d differs in 1000-vehicle fleet:\nalone: %s\nfleet: %s",
+					workers, i, want, got)
+			}
+		}
+	}
+}
+
+// TestCampaignShardedByteIdentical: the full campaign rendering — wave
+// table, totals, and every vehicle line — is byte-identical across
+// worker counts (the sharded merge sorts by vehicle index, never by
+// completion or map order).
+func TestCampaignShardedByteIdentical(t *testing.T) {
+	cfg := CampaignConfig{
+		FleetSeed: testSeed, Vehicles: 300,
+		Update: UpdateSpec{Verify: true, FaultProb: 0.3},
+		Abort:  true, RollbackInFlight: true,
+	}
+	cfg.Workers = 1
+	serial := renderCampaign(t, cfg)
+	for _, workers := range []int{2, 5, 16} {
+		cfg.Workers = workers
+		if got := renderCampaign(t, cfg); got != serial {
+			t.Fatalf("workers=%d: campaign rendering differs from serial", workers)
+		}
+	}
+}
+
+// TestCampaignCanaryAbortCatchesBadUpdate is the fleet-scale safety
+// claim: a seeded bad update that bare rollout ships to the whole fleet
+// is caught by the canary cohort under the abort policy, bounding the
+// blast radius to a small fraction of the fleet.
+func TestCampaignCanaryAbortCatchesBadUpdate(t *testing.T) {
+	bad := UpdateSpec{FaultProb: 0.3}
+
+	bare := bad
+	bareRep, err := RunCampaign(CampaignConfig{
+		FleetSeed: testSeed, Vehicles: 400, Update: bare,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bareRep.ShipRate() != 1.0 {
+		t.Errorf("bare rollout ship rate %.3f, want 1.0 (ships even bad images)", bareRep.ShipRate())
+	}
+	if bareRep.Halted {
+		t.Error("bare rollout halted without an abort policy")
+	}
+
+	guarded := bad
+	guarded.Verify = true
+	rep, err := RunCampaign(CampaignConfig{
+		FleetSeed: testSeed, Vehicles: 400, Update: guarded,
+		Abort: true, RollbackInFlight: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Halted {
+		t.Fatal("canary+abort campaign did not halt on a 30% bad-image rate")
+	}
+	if rate := rep.ShipRate(); rate >= 0.15 {
+		t.Errorf("canary+abort ship rate %.3f, want < 0.15", rate)
+	}
+	if rep.Skipped == 0 {
+		t.Error("halted campaign skipped no vehicles")
+	}
+	ws := rep.Waves[rep.HaltedWave]
+	if !ws.Breached {
+		t.Error("halted wave not marked breached")
+	}
+	if ws.Shipped != 0 {
+		t.Errorf("rollback-in-flight left %d vehicles shipped in the breaching wave", ws.Shipped)
+	}
+	// Accounting: every vehicle classified exactly once.
+	if total := rep.Shipped + rep.RolledBack + rep.Failed + rep.RemoteRollbacks + rep.Skipped; total != 400 {
+		t.Errorf("outcome totals %d, want 400", total)
+	}
+}
+
+// TestCampaignCleanUpdateShipsEverywhere: with a healthy image the abort
+// policy must not fire and the whole fleet ships.
+func TestCampaignCleanUpdateShipsEverywhere(t *testing.T) {
+	rep, err := RunCampaign(CampaignConfig{
+		FleetSeed: testSeed, Vehicles: 120,
+		Update: UpdateSpec{Verify: true},
+		Abort:  true, RollbackInFlight: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Halted {
+		t.Fatal("clean update campaign halted")
+	}
+	if rep.ShipRate() != 1.0 {
+		t.Errorf("clean update ship rate %.3f, want 1.0", rep.ShipRate())
+	}
+	if len(rep.Waves) < 3 {
+		t.Errorf("120-vehicle ramped campaign ran %d waves, want ≥3", len(rep.Waves))
+	}
+}
+
+func TestWaveSizes(t *testing.T) {
+	sizes := waveSizes(1000, 0.02, 3)
+	if sizes[0] != 20 {
+		t.Errorf("canary wave %d, want 20", sizes[0])
+	}
+	sum := 0
+	for i, s := range sizes {
+		sum += s
+		if i > 0 && i < len(sizes)-1 && s != sizes[i-1]*3 {
+			t.Errorf("wave %d size %d does not ramp ×3 from %d", i, s, sizes[i-1])
+		}
+	}
+	if sum != 1000 {
+		t.Errorf("wave sizes sum to %d, want 1000", sum)
+	}
+	// Degenerate: tiny fleet still gets a ≥1-vehicle canary and covers
+	// everyone exactly once.
+	sum = 0
+	for _, s := range waveSizes(3, 0.01, 2) {
+		sum += s
+	}
+	if sum != 3 {
+		t.Errorf("3-vehicle fleet wave sizes sum to %d", sum)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := RunCampaign(CampaignConfig{FleetSeed: 1}); err == nil {
+		t.Error("zero-vehicle campaign accepted")
+	}
+}
+
+func TestVehicleReportRender(t *testing.T) {
+	r := VehicleReport{
+		Index: 7, ID: VehicleID(7), ECUs: 3, Bus: "can", DAs: 2, NDAs: 1,
+		BadImage: true, PreAvail: 0.995, PostAvail: 0.25,
+		Outcome: OutcomeRolledBack, UpdateSpan: 0, DeadLetters: 2,
+	}
+	got := r.Render()
+	for _, want := range []string{"veh-00007", "bus=can", "bad=yes", "outcome=rolled-back", "dead=2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Render() = %q missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package fleet scales the simulation from one vehicle to a fleet: it
+// instantiates N independently seeded vehicle simulations (heterogeneous
+// variants drawn from the internal/model generator) and drives a
+// fleet-wide staged OTA campaign through the on-vehicle update
+// orchestrator (internal/safety/update) and a simulated OEM cloud
+// backend — canary cohort, ramped rollout waves, per-cohort aggregation,
+// abort-on-regression, halt-and-rollback of the regressing wave.
+//
+// Determinism contract: vehicle i's report is a pure function of
+// fleetSeed ⊕ i and the update spec. Vehicles are sharded across a
+// worker pool (internal/par, the same pool shape as the experiment
+// harness) and merged sorted by vehicle index, so a fleet run renders
+// byte-identically for any worker count — and any single vehicle renders
+// byte-identically whether it runs alone, in a 10-vehicle fleet, or in a
+// 1000-vehicle sharded fleet.
+package fleet
+
+import (
+	"fmt"
+
+	"dynaplat/internal/can"
+	"dynaplat/internal/model"
+	"dynaplat/internal/network"
+	"dynaplat/internal/platform"
+	"dynaplat/internal/safety/update"
+	"dynaplat/internal/sim"
+	"dynaplat/internal/soa"
+	"dynaplat/internal/tsn"
+)
+
+// Per-vehicle simulation timeline. The windows are fixed: the baseline
+// window establishes pre-update availability, the OTA session starts at
+// its end, and the post window measures availability once the update
+// (startup + state sync + redirect + soak ≈ 180ms) has settled.
+const (
+	vehPreEnd    = 250 * sim.Millisecond
+	vehPostStart = 700 * sim.Millisecond
+	vehHorizon   = 1000 * sim.Millisecond
+	// DefaultSoak is the verification soak window of the staged update.
+	DefaultSoak = 150 * sim.Millisecond
+)
+
+// UpdateSpec describes the campaign's payload as one vehicle sees it.
+type UpdateSpec struct {
+	// Verify selects the four-phase update with soak verification and
+	// automatic rollback (update.StagedVerified); false is the blind
+	// staged update — the "bare" rollout that commits whatever arrives.
+	Verify bool
+	// FaultProb is the per-vehicle probability that the new version's
+	// image is bad (publishes only every fourth period — a visible
+	// deterministic-function regression). The draw comes from the
+	// vehicle's own seeded stream, so which vehicles are affected is a
+	// pure function of the fleet seed.
+	FaultProb float64
+	// Soak is the verification window (0 = DefaultSoak).
+	Soak sim.Duration
+}
+
+func (u UpdateSpec) soak() sim.Duration {
+	if u.Soak <= 0 {
+		return DefaultSoak
+	}
+	return u.Soak
+}
+
+// Outcome classifies how the campaign left one vehicle.
+type Outcome int
+
+const (
+	// OutcomeShipped: the new version is committed and serving.
+	OutcomeShipped Outcome = iota
+	// OutcomeRolledBack: on-vehicle verification failed during the soak
+	// window; the old version kept serving.
+	OutcomeRolledBack
+	// OutcomeFailed: the update session could not start (e.g. install).
+	OutcomeFailed
+	// OutcomeRemoteRollback: the update committed, but the cloud backend
+	// aborted the wave and commanded a rollback.
+	OutcomeRemoteRollback
+	// OutcomeSkipped: the campaign halted before this vehicle's wave.
+	OutcomeSkipped
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeShipped:
+		return "shipped"
+	case OutcomeRolledBack:
+		return "rolled-back"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeRemoteRollback:
+		return "remote-rollback"
+	case OutcomeSkipped:
+		return "skipped"
+	}
+	return "unknown"
+}
+
+// VehicleReport is one vehicle's result, renderable canonically.
+type VehicleReport struct {
+	Index int
+	ID    string
+
+	// Variant shape.
+	ECUs, DAs, NDAs int
+	Bus             string
+
+	// BadImage reports the seeded draw: this vehicle received a bad
+	// update image.
+	BadImage bool
+
+	// PreAvail/PostAvail are the deterministic-function availabilities
+	// (fraction of periods whose sample reached the cockpit sink) in the
+	// baseline and post-update windows.
+	PreAvail, PostAvail float64
+
+	Outcome Outcome
+	// UpdateSpan is the OTA session length (start → commit/rollback).
+	UpdateSpan sim.Duration
+	// DeadLetters counts middleware deliveries dropped at teardown.
+	DeadLetters int64
+}
+
+// Render returns the canonical one-line form — the unit of the fleet
+// layer's byte-identity contract.
+func (r VehicleReport) Render() string {
+	bad := "no"
+	if r.BadImage {
+		bad = "yes"
+	}
+	return fmt.Sprintf(
+		"%s ecus=%d bus=%s das=%d ndas=%d bad=%s pre=%.1f%% post=%.1f%% outcome=%s span=%.2fms dead=%d",
+		r.ID, r.ECUs, r.Bus, r.DAs, r.NDAs, bad,
+		r.PreAvail*100, r.PostAvail*100, r.Outcome,
+		float64(r.UpdateSpan)/float64(sim.Millisecond), r.DeadLetters)
+}
+
+// VehicleID renders the canonical vehicle identifier for an index.
+func VehicleID(index int) string { return fmt.Sprintf("veh-%05d", index) }
+
+// RunVehicle simulates vehicle `index` of the fleet end to end: build
+// the variant, run the baseline window, apply the staged OTA update, run
+// the post window, measure. The result is a pure function of
+// (fleetSeed ⊕ index, upd) — it does not depend on fleet size, wave
+// membership, or worker interleaving.
+func RunVehicle(fleetSeed uint64, index int, upd UpdateSpec) VehicleReport {
+	rng := sim.NewRNG(fleetSeed ^ uint64(index))
+	sys := model.GenerateVariant(rng, VehicleID(index), model.VariantConfig{})
+	bad := rng.Bool(upd.FaultProb)
+	k := sim.NewKernel(rng.Uint64())
+
+	rep := VehicleReport{
+		Index: index, ID: sys.Name,
+		ECUs: len(sys.ECUs), Bus: sys.Networks[0].Kind.String(),
+		BadImage: bad,
+	}
+
+	// Wire the variant's backbone.
+	var medium network.Network
+	mtu := 1400
+	bb := sys.Networks[0]
+	switch bb.Kind {
+	case model.NetCAN:
+		medium = can.New(k, can.Config{Name: bb.Name, BitsPerSecond: bb.BitsPerSecond})
+		mtu = can.MaxPayload
+	default:
+		cfg := tsn.DefaultConfig(bb.Name)
+		cfg.BitsPerSecond = bb.BitsPerSecond
+		medium = tsn.New(k, cfg)
+	}
+	mw := soa.New(k, nil)
+	mw.AddNetwork(medium, mtu)
+	p := platform.New(k, mw)
+	for _, e := range sys.ECUs {
+		if _, err := p.AddNode(*e, platform.ModeIsolated, 250*sim.Microsecond); err != nil {
+			panic(fmt.Sprintf("fleet: %s: add node %s: %v", sys.Name, e.Name, err))
+		}
+	}
+
+	// Install the app mix. DA apps publish their period index to the
+	// cockpit sink every activation; the sink's per-period bitmap is the
+	// availability ground truth.
+	cons := mw.Endpoint(model.SinkApp, sys.Placement[model.SinkApp])
+	type daState struct {
+		spec   *model.App
+		seen   []bool
+		period sim.Duration
+	}
+	var das []*daState
+	var target *daState
+	for _, a := range sys.Apps {
+		app := a
+		home := sys.Placement[app.Name]
+		if app.Kind != model.Deterministic {
+			inst, err := p.Node(home).Install(*app, platform.Behavior{})
+			if err != nil {
+				panic(fmt.Sprintf("fleet: %s: install %s: %v", sys.Name, app.Name, err))
+			}
+			if err := inst.Start(); err != nil {
+				panic(fmt.Sprintf("fleet: %s: start %s: %v", sys.Name, app.Name, err))
+			}
+			rep.NDAs++
+			continue
+		}
+		rep.DAs++
+		st := &daState{
+			spec:   app,
+			period: app.Period,
+			seen:   make([]bool, int(int64(vehHorizon)/int64(app.Period))+2),
+		}
+		das = append(das, st)
+		if app.Name == model.OTATargetApp {
+			target = st
+		}
+		iface := app.Name + ".state"
+		ep := mw.Endpoint(app.Name, home)
+		ep.Offer(iface, soa.OfferOpts{Network: model.BackboneName, Class: network.ClassControl})
+		payload := sys.Interface(iface).PayloadBytes
+		publish := func(int64) {
+			idx := int(int64(k.Now()) / int64(st.period))
+			if idx < len(st.seen) {
+				ep.Publish(iface, payload, idx)
+			}
+		}
+		if err := cons.Subscribe(iface, func(ev soa.Event) {
+			if idx, ok := ev.Payload.(int); ok && idx >= 0 && idx < len(st.seen) {
+				st.seen[idx] = true
+			}
+		}); err != nil {
+			panic(fmt.Sprintf("fleet: %s: subscribe %s: %v", sys.Name, iface, err))
+		}
+		inst, err := p.Node(home).Install(*app, platform.Behavior{OnActivate: publish})
+		if err != nil {
+			panic(fmt.Sprintf("fleet: %s: install %s: %v", sys.Name, app.Name, err))
+		}
+		if err := inst.Start(); err != nil {
+			panic(fmt.Sprintf("fleet: %s: start %s: %v", sys.Name, app.Name, err))
+		}
+	}
+
+	// The OTA session: a v2 image of the target app. A bad image
+	// publishes only every fourth period — exactly the regression the
+	// soak verification (and, fleet-wide, the canary cohort) must catch.
+	mgr := update.NewManager(p, mw, update.DefaultConfig())
+	// Persisted target state exercises the state-sync phase.
+	tgtHome := sys.Placement[model.OTATargetApp]
+	p.Node(tgtHome).Store().Put(model.OTATargetApp, "calib", []byte("k=1.02"))
+	p.Node(tgtHome).Store().Put(model.OTATargetApp, "odo", []byte("42"))
+
+	newSpec := *target.spec
+	newSpec.Version = 2
+	newName := fmt.Sprintf("%s@%d", model.OTATargetApp, newSpec.Version)
+	tgtIface := model.OTATargetApp + ".state"
+	tgtPayload := sys.Interface(tgtIface).PayloadBytes
+	ep2 := mw.Endpoint(newName, tgtHome)
+	publishV2 := func(int64) {
+		idx := int(int64(k.Now()) / int64(target.period))
+		if bad && idx%4 != 0 {
+			return
+		}
+		if idx < len(target.seen) {
+			ep2.Publish(tgtIface, tgtPayload, idx)
+		}
+	}
+	offers := []update.Offers{{
+		Iface: tgtIface,
+		Opts:  soa.OfferOpts{Network: model.BackboneName, Class: network.ClassControl},
+	}}
+
+	// Soak verification: the last complete soak window of target periods
+	// must show healthy delivery. After redirect only the new version
+	// delivers (stale publishes by the old one are dropped), so the
+	// window measures exactly the v2 image's behavior.
+	verify := func() error {
+		per := int64(target.period)
+		idxNow := int64(k.Now()) / per
+		lo := idxNow - int64(upd.soak())/per
+		if lo < 1 {
+			lo = 1
+		}
+		hits, n := 0, 0
+		for i := lo; i < idxNow-1; i++ {
+			n++
+			if target.seen[i] {
+				hits++
+			}
+		}
+		if n > 0 && float64(hits) < 0.5*float64(n) {
+			return fmt.Errorf("soak health %d/%d", hits, n)
+		}
+		return nil
+	}
+
+	updateStart := sim.Time(vehPreEnd)
+	var updRep update.Report
+	updateDone := false
+	var updateEnd sim.Time
+	done := func(r update.Report) {
+		updRep = r
+		updateDone = true
+		updateEnd = k.Now()
+	}
+	sessionErr := false
+	k.At(updateStart, func() {
+		b := platform.Behavior{OnActivate: publishV2}
+		var err error
+		if upd.Verify {
+			err = mgr.StagedVerified(model.OTATargetApp, newSpec, b, offers, upd.soak(), verify, done)
+		} else {
+			err = mgr.Staged(model.OTATargetApp, newSpec, b, offers, done)
+		}
+		if err != nil {
+			sessionErr = true
+		}
+	})
+
+	k.RunUntil(sim.Time(vehHorizon))
+
+	// Availability over complete periods inside each window.
+	avail := func(from, to sim.Duration) float64 {
+		hits, n := 0, 0
+		for _, st := range das {
+			lo := int(int64(from)/int64(st.period)) + 1
+			hi := int(int64(to) / int64(st.period))
+			for i := lo; i < hi; i++ {
+				n++
+				if st.seen[i] {
+					hits++
+				}
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return float64(hits) / float64(n)
+	}
+	rep.PreAvail = avail(0, vehPreEnd)
+	rep.PostAvail = avail(vehPostStart, vehHorizon)
+	rep.DeadLetters = mw.DeadLetters
+
+	switch {
+	case sessionErr || !updateDone:
+		rep.Outcome = OutcomeFailed
+	case updRep.RolledBack:
+		rep.Outcome = OutcomeRolledBack
+		rep.UpdateSpan = updateEnd.Sub(updateStart)
+	default:
+		rep.Outcome = OutcomeShipped
+		rep.UpdateSpan = updateEnd.Sub(updateStart)
+	}
+	return rep
+}

@@ -20,6 +20,8 @@ func NogoroutineAnalyzer() *Analyzer {
 		Doc:  "no go statements, channel ops, select, or sync primitives in single-threaded kernel-callback packages",
 		Exempt: []string{
 			"dynaplat/internal/experiments", // approved parallel harness: one kernel per worker
+			"dynaplat/internal/fleet",       // fleet shards: one vehicle kernel per worker
+			"dynaplat/internal/par",         // the worker-pool primitive itself
 			"dynaplat/cmd",                  // CLI front-ends drive the harness
 		},
 		Run: runNogoroutine,

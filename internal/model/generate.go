@@ -1,0 +1,179 @@
+package model
+
+import (
+	"fmt"
+
+	"dynaplat/internal/sim"
+)
+
+// This file generates heterogeneous vehicle variants for fleet-scale
+// simulation (ROADMAP item 1): a real fleet is not N copies of one
+// E/E architecture but a population of build variants — different ECU
+// counts and speeds, different bus technologies, different application
+// mixes — that one OTA campaign must nevertheless cover. GenerateVariant
+// draws one such variant deterministically from a sim.RNG stream, so a
+// fleet of N vehicles is a pure function of N seeds.
+
+// VariantConfig bounds the generated heterogeneity. The zero value
+// selects the defaults documented per field.
+type VariantConfig struct {
+	// MinECUs/MaxECUs bound the compute-ECU count (defaults 2 and 5).
+	MinECUs, MaxECUs int
+	// MaxExtraDAs bounds the deterministic applications generated beside
+	// the always-present OTA target app (default 3).
+	MaxExtraDAs int
+	// MaxNDAs bounds the best-effort applications (default 3).
+	MaxNDAs int
+}
+
+func (c VariantConfig) withDefaults() VariantConfig {
+	if c.MinECUs <= 0 {
+		c.MinECUs = 2
+	}
+	if c.MaxECUs < c.MinECUs {
+		c.MaxECUs = c.MinECUs + 3
+	}
+	if c.MaxExtraDAs <= 0 {
+		c.MaxExtraDAs = 3
+	}
+	if c.MaxNDAs <= 0 {
+		c.MaxNDAs = 3
+	}
+	return c
+}
+
+// OTATargetApp is the application every generated variant carries: the
+// logical app a fleet-wide OTA campaign updates. Its parameters
+// (period, WCET, memory) still vary per variant.
+const OTATargetApp = "otatgt"
+
+// BackboneName is the generated variants' single vehicle network.
+const BackboneName = "backbone"
+
+// SinkApp is the cockpit consumer every variant carries; it subscribes
+// to every DA state interface and is where availability is measured.
+const SinkApp = "dash"
+
+// GenerateVariant draws one heterogeneous vehicle architecture from rng.
+// The result is schedulable and updatable by construction:
+//
+//   - every ECU runs an RTOS with an MMU, so deterministic apps may be
+//     placed anywhere;
+//   - per-ECU utilization of the generated DAs stays well under 1 even
+//     at the slowest clock;
+//   - the OTA target's host ECU keeps at least the target's own memory
+//     budget free, so a staged update (which doubles the app's
+//     footprint, DESIGN.md §3.2) always has install headroom.
+//
+// The variant is a pure function of the rng stream: two calls with
+// identically seeded generators yield identical systems.
+func GenerateVariant(rng *sim.RNG, name string, cfg VariantConfig) *System {
+	cfg = cfg.withDefaults()
+	sys := NewSystem(name)
+
+	// Hardware: 2–5 compute ECUs with heterogeneous clocks and memory.
+	nECU := rng.Range(cfg.MinECUs, cfg.MaxECUs)
+	clocks := []int{100, 200, 400}
+	mems := []int{384, 512, 768}
+	for i := 0; i < nECU; i++ {
+		sys.ECUs = append(sys.ECUs, &ECU{
+			Name:     fmt.Sprintf("cpm%d", i),
+			CPUMHz:   clocks[rng.Intn(len(clocks))],
+			MemoryKB: mems[rng.Intn(len(mems))],
+			HasMMU:   true,
+			OS:       OSRTOS,
+		})
+	}
+
+	// Bus topology: one backbone, either switched Ethernet (newer
+	// variants) or a classic CAN bus (legacy builds). The OTA campaign
+	// must behave across both.
+	net := &Network{Name: BackboneName}
+	if rng.Bool(0.6) {
+		net.Kind = NetEthernet
+		net.BitsPerSecond = []int64{100_000_000, 1_000_000_000}[rng.Intn(2)]
+	} else {
+		net.Kind = NetCAN
+		net.BitsPerSecond = []int64{500_000, 1_000_000}[rng.Intn(2)]
+	}
+	for _, e := range sys.ECUs {
+		net.Attached = append(net.Attached, e.Name)
+	}
+	sys.Networks = append(sys.Networks, net)
+
+	periods := []sim.Duration{5 * sim.Millisecond, 10 * sim.Millisecond, 20 * sim.Millisecond}
+	addDA := func(appName string, ecu int, asil ASIL) *App {
+		period := periods[rng.Intn(len(periods))]
+		app := &App{
+			Name:     appName,
+			Kind:     Deterministic,
+			ASIL:     asil,
+			Period:   period,
+			WCET:     sim.Duration(rng.Range(200, 600)) * sim.Microsecond,
+			Deadline: period,
+			MemoryKB: []int{64, 96, 128}[rng.Intn(3)],
+			Version:  1,
+		}
+		sys.Apps = append(sys.Apps, app)
+		sys.Placement[appName] = sys.ECUs[ecu].Name
+		iface := &Interface{
+			Name:         appName + ".state",
+			Owner:        appName,
+			Paradigm:     Event,
+			PayloadBytes: rng.Range(8, 16),
+			Period:       period,
+			Network:      BackboneName,
+			Version:      1,
+		}
+		sys.Interfaces = append(sys.Interfaces, iface)
+		sys.Bindings = append(sys.Bindings, Binding{Client: "dash", Interface: iface.Name})
+		return app
+	}
+
+	// Every variant carries the cockpit sink consuming all DA state
+	// interfaces — the measurement point for fleet availability. It
+	// lives on the last (usually fastest-booting head-unit style) ECU.
+	sys.Apps = append(sys.Apps, &App{
+		Name: SinkApp, Kind: NonDeterministic, ASIL: QM, MemoryKB: 64, Version: 1,
+	})
+	sys.Placement[SinkApp] = sys.ECUs[nECU-1].Name
+
+	// The OTA target always lives on cpm0; the extra DAs round-robin
+	// over the remaining ECUs so no single node concentrates load.
+	target := addDA(OTATargetApp, 0, ASILD)
+	nDA := rng.Range(1, cfg.MaxExtraDAs)
+	for i := 0; i < nDA; i++ {
+		addDA(fmt.Sprintf("da%d", i), (i+1)%nECU, []ASIL{ASILC, ASILD}[rng.Intn(2)])
+	}
+
+	// Best-effort apps fill out the mix (infotainment-style load).
+	nNDA := rng.Intn(cfg.MaxNDAs + 1)
+	for i := 0; i < nNDA; i++ {
+		app := &App{
+			Name:     fmt.Sprintf("nda%d", i),
+			Kind:     NonDeterministic,
+			ASIL:     []ASIL{QM, ASILB}[rng.Intn(2)],
+			MemoryKB: []int{64, 128}[rng.Intn(2)],
+			Version:  1,
+		}
+		sys.Apps = append(sys.Apps, app)
+		sys.Placement[app.Name] = sys.ECUs[rng.Intn(nECU)].Name
+	}
+
+	// Memory feasibility: every ECU must fit its placed apps, and the
+	// OTA target's host must additionally hold the target's budget twice
+	// — the staged update runs old and new instances in parallel
+	// (DESIGN.md §3.2). Grow a tight ECU rather than rejecting the
+	// variant (rejection sampling would make the draw count
+	// data-dependent and couple vehicles' RNG streams to placement luck).
+	for _, e := range sys.ECUs {
+		need := sys.ECUMemoryUse(e)
+		if e == sys.ECUs[0] {
+			need += target.MemoryKB
+		}
+		if e.MemoryKB < need {
+			e.MemoryKB = need
+		}
+	}
+	return sys
+}

@@ -1,0 +1,72 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+
+	"dynaplat/internal/sim"
+)
+
+// fingerprint renders the generated system canonically for comparison.
+func fingerprint(s *System) string {
+	out := fmt.Sprintf("system %s\n", s.Name)
+	for _, e := range s.ECUs {
+		out += fmt.Sprintf("ecu %s cpu=%d mem=%d\n", e.Name, e.CPUMHz, e.MemoryKB)
+	}
+	for _, n := range s.Networks {
+		out += fmt.Sprintf("net %s kind=%v rate=%d attach=%v\n", n.Name, n.Kind, n.BitsPerSecond, n.Attached)
+	}
+	for _, a := range s.Apps {
+		out += fmt.Sprintf("app %s kind=%v asil=%v period=%v wcet=%v mem=%d on=%s\n",
+			a.Name, a.Kind, a.ASIL, a.Period, a.WCET, a.MemoryKB, s.Placement[a.Name])
+	}
+	for _, i := range s.Interfaces {
+		out += fmt.Sprintf("iface %s owner=%s payload=%d\n", i.Name, i.Owner, i.PayloadBytes)
+	}
+	return out
+}
+
+func TestGenerateVariantDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a := GenerateVariant(sim.NewRNG(seed), "veh", VariantConfig{})
+		b := GenerateVariant(sim.NewRNG(seed), "veh", VariantConfig{})
+		if fingerprint(a) != fingerprint(b) {
+			t.Fatalf("seed %d: identical seeds produced different variants:\n%s\nvs\n%s",
+				seed, fingerprint(a), fingerprint(b))
+		}
+	}
+}
+
+func TestGenerateVariantValidAndHeterogeneous(t *testing.T) {
+	seenECUs := map[int]bool{}
+	seenKinds := map[NetworkKind]bool{}
+	for seed := uint64(0); seed < 200; seed++ {
+		sys := GenerateVariant(sim.NewRNG(seed), fmt.Sprintf("veh-%d", seed), VariantConfig{})
+		if rep := Validate(sys); !rep.OK() {
+			t.Fatalf("seed %d: generated variant invalid: %v", seed, rep.Errors())
+		}
+		if sys.App(OTATargetApp) == nil {
+			t.Fatalf("seed %d: no OTA target app", seed)
+		}
+		seenECUs[len(sys.ECUs)] = true
+		seenKinds[sys.Networks[0].Kind] = true
+
+		// Schedulability and update headroom by construction.
+		for _, e := range sys.ECUs {
+			if u := sys.ECUUtilization(e); u >= 0.8 {
+				t.Errorf("seed %d: ECU %s utilization %.2f too high", seed, e.Name, u)
+			}
+		}
+		cpm0 := sys.ECU(sys.Placement[OTATargetApp])
+		if free := cpm0.MemoryKB - sys.ECUMemoryUse(cpm0); free < sys.App(OTATargetApp).MemoryKB {
+			t.Errorf("seed %d: no staged-update memory headroom on %s (free %dKB)",
+				seed, cpm0.Name, free)
+		}
+	}
+	if len(seenECUs) < 3 {
+		t.Errorf("ECU-count diversity too low: %v", seenECUs)
+	}
+	if len(seenKinds) < 2 {
+		t.Errorf("bus-topology diversity too low: %v", seenKinds)
+	}
+}

@@ -1,0 +1,96 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryItem(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 64} {
+		n := 100
+		hits := make([]atomic.Int32, n)
+		if err := ForEach(n, workers, func(i int) { hits[i].Add(1) }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(0, 4, func(int) { t.Fatal("fn called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachPanicContained(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEach(50, workers, func(i int) {
+			if i == 7 {
+				panic("boom at seven")
+			}
+			ran.Add(1)
+		})
+		pe, ok := err.(*PanicError)
+		if !ok {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 7 {
+			t.Errorf("workers=%d: failing index = %d, want 7", workers, pe.Index)
+		}
+		if pe.Value != "boom at seven" {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "item 7") || !strings.Contains(pe.Error(), "boom at seven") {
+			t.Errorf("workers=%d: error text %q lacks index or value", workers, pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+// TestForEachLowestIndexWins: with several panicking items the reported
+// index must be the lowest, independent of goroutine interleaving.
+func TestForEachLowestIndexWins(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		err := ForEach(40, 8, func(i int) {
+			if i%10 == 3 { // 3, 13, 23, 33 all panic
+				panic(i)
+			}
+		})
+		pe, ok := err.(*PanicError)
+		if !ok {
+			t.Fatalf("err = %v", err)
+		}
+		// Workers claim indices in order, so index 3 is always claimed —
+		// and with the lowest-index rule it must always be the one reported.
+		if pe.Index != 3 {
+			t.Fatalf("round %d: index = %d, want 3", round, pe.Index)
+		}
+	}
+}
+
+// TestForEachAbandonsAfterPanic: a panic stops further claims, so a
+// panicking item near the front of a long run leaves most work undone
+// rather than burning the pool on a doomed batch.
+func TestForEachAbandonsAfterPanic(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(1_000_000, 2, func(i int) {
+		if i == 0 {
+			panic("early")
+		}
+		ran.Add(1)
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if n := ran.Load(); n > 1000 {
+		t.Errorf("%d items ran after the panic; claims were not abandoned", n)
+	}
+}

@@ -93,6 +93,11 @@ func (p *PersistenceService) Get(app, key string) (value []byte, ok bool) {
 // Delete removes a key.
 func (p *PersistenceService) Delete(app, key string) { delete(p.data[app], key) }
 
+// DropApp removes every key of an app. The staged-update rollback uses
+// it to discard state synchronized to a new version that never went
+// live — an aborted update must leave the store byte-identical.
+func (p *PersistenceService) DropApp(app string) { delete(p.data, app) }
+
 // Keys lists an app's keys, sorted.
 func (p *PersistenceService) Keys(app string) []string {
 	var out []string

@@ -39,6 +39,20 @@ func (m *Manager) StagedVerified(logical string, newSpec model.App, b platform.B
 		rep.Stamps = append(rep.Stamps, Stamp{Phase: ph, Start: start, End: m.k.Now()})
 	}
 
+	// Snapshot the pre-update service state: which of the campaign's
+	// interfaces already exist with the old instance as provider, and at
+	// which contract version. Rollback restores exactly this set —
+	// re-offering an interface the old version never provided would
+	// leave ghost services behind after the new endpoint is removed.
+	preOffered := map[string]int{}
+	if m.mw != nil {
+		for _, o := range offers {
+			if prov, ver, err := m.mw.Find(o.Iface); err == nil && prov == oldName {
+				preOffered[o.Iface] = ver
+			}
+		}
+	}
+
 	// Phase 1: parallel start.
 	p1 := m.k.Now()
 	newInst, err := node.Install(spec, b)
@@ -55,11 +69,7 @@ func (m *Manager) StagedVerified(logical string, newSpec model.App, b platform.B
 		for _, o := range offers {
 			opts := o.Opts
 			if opts.Version == 0 {
-				if app == newName {
-					opts.Version = newSpec.Version
-				} else {
-					opts.Version = inst.Spec.Version
-				}
+				opts.Version = newSpec.Version
 			}
 			ep.Offer(o.Iface, opts)
 		}
@@ -67,12 +77,33 @@ func (m *Manager) StagedVerified(logical string, newSpec model.App, b platform.B
 
 	rollback := func(reason error) {
 		// Redirect traffic back to the old version and drop the new one.
-		offerTo(oldName)
+		// Only the services the old version provided before the update
+		// are re-offered, at their pre-update versions; interfaces the
+		// new version introduced die with its endpoint. Services still
+		// pointing at the old provider (rollback before redirect) are
+		// left untouched.
 		if m.mw != nil {
+			ep := m.mw.Endpoint(oldName, node.ECU().Name)
+			for _, o := range offers {
+				ver, existed := preOffered[o.Iface]
+				if !existed {
+					continue
+				}
+				if prov, _, err := m.mw.Find(o.Iface); err == nil && prov == oldName {
+					continue
+				}
+				opts := o.Opts
+				opts.Version = ver
+				ep.Offer(o.Iface, opts)
+			}
 			m.mw.RemoveEndpoint(newName)
 		}
 		newInst.Stop()
 		node.Uninstall(newName)
+		// Discard the state synchronized to the version that never went
+		// live: the persistence store must read as if the update had
+		// never been attempted.
+		node.Store().DropApp(newName)
 		rep.RolledBack = true
 		node.Diag().RecordFault(platform.Fault{
 			App: logical, Kind: platform.FaultUpdateAborted,

@@ -92,7 +92,7 @@ kernel_raw=$(go test -run '^$' -bench "$KERNEL_PAT" \
 overhead_raw=$(go test -run '^$' -bench 'BenchmarkPublishDeliver' \
   -benchmem -benchtime "$BENCHTIME" ./internal/soa/)
 
-exp_raw=$(go test -run '^$' -bench 'BenchmarkE[0-9]+' -benchtime 1x .)
+exp_raw=$(go test -run '^$' -bench 'BenchmarkE[0-9]+|BenchmarkFleetRollout' -benchtime 1x .)
 
 {
   echo '{'

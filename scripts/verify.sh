@@ -32,8 +32,12 @@ go run ./cmd/dynalint ./...
 echo "==> go test ./..."
 go test ./...
 
+# The race build of the full E1–E24 suite (internal/experiments alone
+# re-runs every experiment several times for the parallel/serial and
+# observed/plain byte-identity proofs) outgrew go test's default
+# 10-minute per-package timeout; raise it rather than thin the suite.
 echo "==> go test -race ./..."
-go test -race ./...
+go test -race -timeout 30m ./...
 
 # Seeded fault soak: the E21 fault-campaign sweep (ECU crash/hang/reboot,
 # frame loss/corruption, partitions, babbling idiot) must render
@@ -59,6 +63,20 @@ echo "==> service-mesh determinism soak (E24 x2)"
 go test -run TestE24Deterministic -count=2 ./internal/experiments/
 echo "==> service-mesh observed-matches-plain (E24)"
 go test -run TestE24ObservedMatchesPlain -count=1 ./internal/experiments/
+
+# Fleet-rollout soak: the E23 staged-OTA sweep (twelve cloud campaigns
+# over 3000 heterogeneous vehicle simulations) must render
+# byte-identically on repeated runs — the determinism contract of the
+# fleet layer (internal/fleet).
+echo "==> fleet-rollout determinism soak (E23 x2)"
+go test -run TestE23Deterministic -count=2 ./internal/experiments/
+
+# Per-vehicle seed independence: a vehicle's rendered report must be
+# byte-identical whether it runs alone, in a 10-vehicle fleet, or in a
+# 1000-vehicle sharded fleet, at any worker count — and a whole
+# campaign's rendering must not depend on the worker count.
+echo "==> fleet per-vehicle seed-independence gate"
+go test -run 'TestVehicleSeedIndependence|TestCampaignShardedByteIdentical' ./internal/fleet/
 
 # Observability determinism soak: the Chrome trace and metrics dump of
 # an observed E21 run must be byte-identical across runs and across
