@@ -1,8 +1,11 @@
 // Command dynalint is the driver for the determinism & lifecycle
 // static-analysis suite (internal/lint, DESIGN.md §8). It walks the
-// requested packages and enforces the platform's five contracts —
-// walltime, seededrand, maporder, nogoroutine, droppedref — with
-// vet-style file:line:col diagnostics and a non-zero exit on findings.
+// requested packages and enforces the platform's seven contracts —
+// walltime, seededrand, maporder, nogoroutine, droppedref, sharedrng,
+// parshared — interprocedurally over a whole-program call graph, with
+// vet-style file:line:col diagnostics (indirect findings carry the full
+// witness path, e.g. "a → b → time.Now") and a non-zero exit on
+// findings.
 //
 // Usage:
 //
@@ -12,8 +15,11 @@
 //	dynalint -checks walltime ./...     run a subset of checks
 //	dynalint -json ./internal/soa       machine-readable findings
 //	dynalint -list                      describe the analyzers
+//	dynalint -allows ./...              inventory every //dynalint:allow
+//	dynalint -graph ./internal/soa      dump the call graph (debug)
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load error.
+// Exit status: 0 clean, 1 findings (or malformed allows under
+// -allows), 2 usage or load error.
 package main
 
 import (
@@ -36,6 +42,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	list := fs.Bool("list", false, "list the analyzers and their allowlist policy, then exit")
+	allows := fs.Bool("allows", false, "inventory every //dynalint:allow directive (file:line, check, reason) instead of linting")
+	graph := fs.Bool("graph", false, "dump the whole-program call graph (caller -> callee [kind] @pos) instead of linting")
 	root := fs.String("root", ".", "module root (directory containing go.mod)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: dynalint [flags] [packages]\n")
@@ -73,6 +81,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "dynalint:", err)
 		return 2
 	}
+	if *allows {
+		return runAllows(pkgs, *jsonOut, stdout, stderr)
+	}
+	if *graph {
+		for _, line := range lint.NewProgram(pkgs).Graph().DumpGraph() {
+			fmt.Fprintln(stdout, line)
+		}
+		return 0
+	}
 	diags := lint.RunSuite(analyzers, pkgs)
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -93,6 +110,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !*jsonOut {
 			fmt.Fprintf(stdout, "dynalint: %d finding(s)\n", len(diags))
 		}
+		return 1
+	}
+	return 0
+}
+
+// runAllows prints the //dynalint:allow inventory: every audited
+// exception with its position, check, and mandatory reason. Exit 1
+// when any directive is malformed (it would not suppress), 0 otherwise
+// — the inventory itself is not a failure.
+func runAllows(pkgs []*lint.Package, jsonOut bool, stdout, stderr io.Writer) int {
+	inv := lint.AllowInventory(pkgs)
+	malformed := 0
+	for _, e := range inv {
+		if e.Malformed {
+			malformed++
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if inv == nil {
+			inv = []lint.AllowEntry{}
+		}
+		if err := enc.Encode(inv); err != nil {
+			fmt.Fprintln(stderr, "dynalint:", err)
+			return 2
+		}
+	} else {
+		for _, e := range inv {
+			status := ""
+			if e.Malformed {
+				status = " [MALFORMED]"
+			}
+			fmt.Fprintf(stdout, "%s:%d: %s: %s%s\n", e.File, e.Line, e.Check, e.Reason, status)
+		}
+		fmt.Fprintf(stdout, "dynalint: %d allow directive(s), %d malformed\n", len(inv), malformed)
+	}
+	if malformed > 0 {
 		return 1
 	}
 	return 0

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -107,6 +108,77 @@ func TestListAndUsage(t *testing.T) {
 	}
 	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("bad pattern exit = %d, want 2", code)
+	}
+}
+
+// TestAllowsInventory: -allows lists every //dynalint:allow with its
+// position, check, and reason, flags malformed directives, and exits 1
+// when any directive would not suppress.
+func TestAllowsInventory(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-allows", "internal/lint/testdata/walltime"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (fixture has a reason-less allow); stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[MALFORMED]") {
+		t.Error("reason-less allow not marked MALFORMED")
+	}
+	if !strings.Contains(out, "harness timing measured around the run") {
+		t.Error("well-formed allow reason missing from inventory")
+	}
+	if !strings.Contains(out, "allow directive(s), 1 malformed") {
+		t.Errorf("summary line missing or wrong: %s", out)
+	}
+
+	stdout.Reset()
+	code = run([]string{"-allows", "-json", "internal/lint/testdata/walltime"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("json exit = %d, want 1", code)
+	}
+	var inv []struct {
+		File      string `json:"file"`
+		Line      int    `json:"line"`
+		Check     string `json:"check"`
+		Reason    string `json:"reason"`
+		Malformed bool   `json:"malformed"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &inv); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	var malformed int
+	for _, e := range inv {
+		if e.File == "" || e.Line == 0 || e.Check == "" {
+			t.Errorf("incomplete entry %+v", e)
+		}
+		if e.Malformed {
+			malformed++
+		}
+	}
+	if len(inv) < 3 || malformed != 1 {
+		t.Errorf("got %d entries (%d malformed), want >=3 with exactly 1 malformed", len(inv), malformed)
+	}
+}
+
+// TestGraphDump: -graph renders the call graph with every edge kind,
+// sorted and byte-stable.
+func TestGraphDump(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-graph", "internal/lint/testdata/callgraph"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{" -> ", "[call]", "[interface]", "[ref]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-graph output missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !sort.StringsAreSorted(lines) {
+		t.Error("-graph output is not sorted")
 	}
 }
 

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// AllowEntry is one //dynalint:allow directive in the analyzed tree —
+// the unit of the auditable-exception inventory surfaced by
+// `dynalint -allows` and budgeted by scripts/verify.sh.
+type AllowEntry struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Check  string `json:"check"`
+	Reason string `json:"reason"`
+	// Malformed is set when the directive does not suppress (unknown
+	// check name or missing reason); it still appears in the inventory
+	// so the audit sees it, and it is separately reported as a
+	// diagnostic by RunSuite.
+	Malformed bool `json:"malformed,omitempty"`
+}
+
+// AllowInventory scans every package comment for //dynalint:allow
+// directives and returns them sorted by position. Unlike the
+// suppression table, the inventory keeps malformed directives too:
+// the point is a complete audit surface.
+func AllowInventory(pkgs []*Package) []AllowEntry {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var out []AllowEntry
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+					pos := pkg.Fset.Position(c.Pos())
+					e := AllowEntry{File: pos.Filename, Line: pos.Line}
+					if len(fields) > 0 {
+						e.Check = fields[0]
+					}
+					if len(fields) > 1 {
+						e.Reason = strings.Join(fields[1:], " ")
+					}
+					e.Malformed = !known[e.Check] || e.Reason == ""
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}

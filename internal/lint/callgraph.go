@@ -1,0 +1,577 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Whole-program call graph (dynalint v2). Nodes are function bodies —
+// every FuncDecl and every FuncLit in the analyzed packages — and edges
+// are the ways one body can cause another to run:
+//
+//   - EdgeCall:      direct static call f(...), pkg.F(...), or a call
+//     through a local/function-typed variable whose bindings are known
+//     (x := funcLit; x()).
+//   - EdgeMethod:    concrete-receiver method call x.m(...).
+//   - EdgeInterface: interface-method call, resolved conservatively to
+//     *every* analyzed named type implementing the interface — a sound
+//     over-approximation matching the determinism contracts' posture.
+//   - EdgeRef:       a function *value* escaping — a method value
+//     (x.m), a func identifier passed as an argument or wired into a
+//     function-typed field, or a FuncLit defined in the body. Defining
+//     or storing a value is treated as "may invoke": whoever registers
+//     a wall-clock-reading callback owns the impurity.
+//
+// Two deliberate conservatisms, documented so they can be audited:
+// calls *through* function-typed fields (s.cb()) add no edge — the
+// wiring site already carried the EdgeRef — and bindings through
+// variables of another package are not tracked. Both under-approximate
+// only where an EdgeRef has already tainted the wiring function.
+//
+// Cross-package object identity: each analyzed package is type-checked
+// independently, so the same function is represented by different
+// *types.Func objects in its defining package and in importers. Nodes
+// are therefore keyed by types.Func.FullName() — which spells the
+// package *path* and receiver — unifying the two worlds.
+
+// EdgeKind classifies how a call-graph edge was discovered.
+type EdgeKind int
+
+const (
+	EdgeCall EdgeKind = iota
+	EdgeMethod
+	EdgeInterface
+	EdgeRef
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeMethod:
+		return "method"
+	case EdgeInterface:
+		return "interface"
+	default:
+		return "ref"
+	}
+}
+
+// FuncNode is one function body in the graph.
+type FuncNode struct {
+	Obj  *types.Func   // nil for function literals
+	Decl *ast.FuncDecl // nil for function literals
+	Lit  *ast.FuncLit  // nil for declared functions
+	Pkg  *Package      // defining package
+	File *ast.File
+
+	// Encloser is the innermost function a literal is defined in
+	// (nil for declared functions and package-level literals).
+	Encloser *FuncNode
+
+	Out []*CallEdge // call sites in this body, in source order
+	In  []*CallEdge // reverse edges, in global deterministic order
+}
+
+// Pos returns the node's defining position.
+func (n *FuncNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// Body returns the node's statement body.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Name renders the node for diagnostics and path strings: "ForEach",
+// "Middleware.sessionJitter", or "func@<line>" for a literal.
+func (n *FuncNode) Name() string {
+	if n.Obj != nil {
+		if recv := n.Obj.Type().(*types.Signature).Recv(); recv != nil {
+			return recvBase(recv.Type()) + "." + n.Obj.Name()
+		}
+		return n.Obj.Name()
+	}
+	return fmt.Sprintf("func@%d", n.Pkg.Fset.Position(n.Lit.Pos()).Line)
+}
+
+// DisplayName qualifies the node with its package when reported from a
+// different package ("par.ForEach" seen from internal/fleet).
+func (n *FuncNode) DisplayName(from *Package) string {
+	if n.Pkg != nil && from != nil && n.Pkg != from {
+		return n.Pkg.Types.Name() + "." + n.Name()
+	}
+	return n.Name()
+}
+
+// FullName is the node's unique key: the types.Func full name, or a
+// position-qualified name for literals.
+func (n *FuncNode) FullName() string {
+	if n.Obj != nil {
+		return n.Obj.FullName()
+	}
+	pos := n.Pkg.Fset.Position(n.Lit.Pos())
+	return fmt.Sprintf("%s.func@%s:%d:%d", n.Pkg.Path, filepath.Base(pos.Filename), pos.Line, pos.Column)
+}
+
+func recvBase(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// walkOwn traverses the node's own body, stopping at nested function
+// literals: each literal is its own graph node and scans itself.
+func (n *FuncNode) walkOwn(visit func(ast.Node) bool) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x == nil {
+			return true
+		}
+		return visit(x)
+	})
+}
+
+// CallEdge is one call or function-value-escape site.
+type CallEdge struct {
+	Caller *FuncNode
+	Callee *FuncNode
+	Pos    token.Pos
+	Kind   EdgeKind
+	// Desc renders the call target as written at the site ("m.helper",
+	// "Clocker.Tick"), for diagnostics.
+	Desc string
+}
+
+// Graph is the whole-program call graph.
+type Graph struct {
+	nodes   map[string]*FuncNode // keyed by FullName
+	lits    map[*ast.FuncLit]*FuncNode
+	ordered []*FuncNode // deterministic (file, offset) order
+
+	// byCall indexes the outgoing edges of every call expression, so
+	// analyzers (maporder's map-range scan) can resolve a specific
+	// call site to its conservative callee set.
+	byCall map[*ast.CallExpr][]*CallEdge
+
+	// impls caches interface-method resolution: interface method
+	// full-name → implementing method nodes.
+	impls map[string][]*FuncNode
+
+	namedTypes []types.Type // all analyzed named non-interface types, sorted
+}
+
+// NodeByObj resolves a function object (from any package's type info)
+// to its graph node, or nil when the function is not part of the
+// analyzed program.
+func (g *Graph) NodeByObj(obj *types.Func) *FuncNode {
+	if obj == nil {
+		return nil
+	}
+	return g.nodes[obj.FullName()]
+}
+
+// Nodes returns every node in deterministic order.
+func (g *Graph) Nodes() []*FuncNode { return g.ordered }
+
+// EdgesAt returns the conservative callee edges of one call expression.
+func (g *Graph) EdgesAt(call *ast.CallExpr) []*CallEdge { return g.byCall[call] }
+
+// buildGraph constructs the call graph over the analyzed packages.
+func buildGraph(pkgs []*Package) *Graph {
+	g := &Graph{
+		nodes:  map[string]*FuncNode{},
+		lits:   map[*ast.FuncLit]*FuncNode{},
+		byCall: map[*ast.CallExpr][]*CallEdge{},
+		impls:  map[string][]*FuncNode{},
+	}
+	b := &graphBuilder{g: g}
+	for _, pkg := range pkgs {
+		b.collectNodes(pkg)
+	}
+	sort.Slice(g.ordered, func(i, j int) bool {
+		a, c := g.ordered[i], g.ordered[j]
+		pa, pc := a.Pkg.Fset.Position(a.Pos()), c.Pkg.Fset.Position(c.Pos())
+		if pa.Filename != pc.Filename {
+			return pa.Filename < pc.Filename
+		}
+		return pa.Offset < pc.Offset
+	})
+	b.collectNamedTypes(pkgs)
+	for _, pkg := range pkgs {
+		b.collectBindings(pkg)
+	}
+	// Literal-definition edges first (encloser may invoke), then the
+	// per-body call/ref scan, in deterministic node order.
+	for _, n := range g.ordered {
+		if n.Lit != nil && n.Encloser != nil {
+			b.addEdge(n.Encloser, n, n.Lit.Pos(), EdgeRef, "func literal", nil)
+		}
+	}
+	for _, n := range g.ordered {
+		b.scanBody(n)
+	}
+	// Reverse edges in global deterministic order.
+	for _, n := range g.ordered {
+		for _, e := range n.Out {
+			e.Callee.In = append(e.Callee.In, e)
+		}
+	}
+	return g
+}
+
+type graphBuilder struct {
+	g *Graph
+	// bindings maps a variable object to the function nodes ever
+	// assigned to it (flow-insensitive, same-package only).
+	bindings map[types.Object][]*FuncNode
+}
+
+// collectNodes indexes every FuncDecl and FuncLit of the package and
+// attributes each literal to its innermost enclosing function.
+func (b *graphBuilder) collectNodes(pkg *Package) {
+	type span struct {
+		node   *FuncNode
+		lo, hi token.Pos
+	}
+	for _, f := range pkg.Files {
+		var spans []span
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			n := &FuncNode{Obj: obj, Decl: fd, Pkg: pkg, File: f}
+			b.g.nodes[n.FullName()] = n
+			b.g.ordered = append(b.g.ordered, n)
+			spans = append(spans, span{n, fd.Pos(), fd.End()})
+		}
+		ast.Inspect(f, func(x ast.Node) bool {
+			lit, ok := x.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			n := &FuncNode{Lit: lit, Pkg: pkg, File: f}
+			b.g.lits[lit] = n
+			b.g.nodes[n.FullName()] = n
+			b.g.ordered = append(b.g.ordered, n)
+			spans = append(spans, span{n, lit.Pos(), lit.End()})
+			return true
+		})
+		// Innermost-encloser attribution: the containing span with the
+		// latest start position.
+		for lit, n := range b.g.lits {
+			if n.File != f {
+				continue
+			}
+			var best *FuncNode
+			var bestLo token.Pos
+			for _, s := range spans {
+				if s.node.Lit == lit {
+					continue
+				}
+				if s.lo <= lit.Pos() && lit.End() <= s.hi {
+					if best == nil || s.lo > bestLo {
+						best, bestLo = s.node, s.lo
+					}
+				}
+			}
+			n.Encloser = best
+		}
+	}
+}
+
+// collectNamedTypes gathers every named non-interface type of the
+// analyzed packages, sorted, for conservative interface resolution.
+func (b *graphBuilder) collectNamedTypes(pkgs []*Package) {
+	type entry struct {
+		key string
+		typ types.Type
+	}
+	var entries []entry
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			entries = append(entries, entry{pkg.Path + "." + name, t})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	for _, e := range entries {
+		b.g.namedTypes = append(b.g.namedTypes, e.typ)
+	}
+}
+
+// collectBindings records, flow-insensitively, which function nodes
+// each variable can hold: x := func(){...}, var x = helper, x = t.m.
+func (b *graphBuilder) collectBindings(pkg *Package) {
+	if b.bindings == nil {
+		b.bindings = map[types.Object][]*FuncNode{}
+	}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if target := b.valueNode(pkg, rhs); target != nil {
+			b.bindings[obj] = append(b.bindings[obj], target)
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			switch s := x.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i := range s.Lhs {
+						bind(s.Lhs[i], s.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(s.Names) == len(s.Values) {
+					for i := range s.Names {
+						bind(s.Names[i], s.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// valueNode resolves an expression used as a function value to a graph
+// node: a literal, a function identifier, or a concrete method value.
+func (b *graphBuilder) valueNode(pkg *Package, e ast.Expr) *FuncNode {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return b.g.lits[v]
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[v].(*types.Func); ok {
+			return b.g.NodeByObj(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[v.Sel].(*types.Func); ok {
+			return b.g.NodeByObj(fn)
+		}
+	}
+	return nil
+}
+
+func (b *graphBuilder) addEdge(caller, callee *FuncNode, pos token.Pos, kind EdgeKind, desc string, call *ast.CallExpr) {
+	if caller == nil || callee == nil {
+		return
+	}
+	e := &CallEdge{Caller: caller, Callee: callee, Pos: pos, Kind: kind, Desc: desc}
+	caller.Out = append(caller.Out, e)
+	if call != nil {
+		b.g.byCall[call] = append(b.g.byCall[call], e)
+	}
+}
+
+// scanBody adds the outgoing edges of one node: calls, method values,
+// and function-value references, in source order.
+func (b *graphBuilder) scanBody(n *FuncNode) {
+	pkg := n.Pkg
+	inCall := map[ast.Expr]bool{} // call Fun expressions (already edged)
+	consumed := map[*ast.Ident]bool{}
+	n.walkOwn(func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(e.Fun)
+			inCall[fun] = true
+			b.resolveCall(n, e, fun)
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				consumed[sel.Sel] = true
+			}
+		case *ast.SelectorExpr:
+			if inCall[e] {
+				consumed[e.Sel] = true
+				return true
+			}
+			// Method value or package-function reference escaping as a
+			// value.
+			if consumed[e.Sel] {
+				return true
+			}
+			consumed[e.Sel] = true
+			b.resolveRef(n, e)
+		case *ast.Ident:
+			if consumed[e] || inCall[e] {
+				return true
+			}
+			if fn, ok := pkg.Info.Uses[e].(*types.Func); ok {
+				b.addEdge(n, b.g.NodeByObj(fn), e.Pos(), EdgeRef, e.Name, nil)
+			}
+		}
+		return true
+	})
+}
+
+// resolveCall adds edges for one call expression.
+func (b *graphBuilder) resolveCall(n *FuncNode, call *ast.CallExpr, fun ast.Expr) {
+	pkg := n.Pkg
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		b.addEdge(n, b.g.lits[f], call.Pos(), EdgeCall, "func literal", call)
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[f].(type) {
+		case *types.Func:
+			b.addEdge(n, b.g.NodeByObj(obj), call.Pos(), EdgeCall, f.Name, call)
+		case *types.Var:
+			for _, target := range b.bindings[obj] {
+				b.addEdge(n, target, call.Pos(), EdgeCall, f.Name, call)
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				b.methodEdges(n, f, sel, call.Pos(), call, false)
+			case types.FieldVal:
+				// Function-typed field call: conservatively silent —
+				// the wiring assignment carried the EdgeRef.
+			}
+			return
+		}
+		// Package-qualified call pkg.F(...).
+		if fn, ok := pkg.Info.Uses[f.Sel].(*types.Func); ok {
+			b.addEdge(n, b.g.NodeByObj(fn), call.Pos(), EdgeCall, exprString(f), call)
+		}
+	}
+}
+
+// resolveRef adds EdgeRef edges for a selector used as a value.
+func (b *graphBuilder) resolveRef(n *FuncNode, e *ast.SelectorExpr) {
+	pkg := n.Pkg
+	if sel, ok := pkg.Info.Selections[e]; ok {
+		if sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr {
+			b.methodEdges(n, e, sel, e.Pos(), nil, true)
+		}
+		return
+	}
+	if fn, ok := pkg.Info.Uses[e.Sel].(*types.Func); ok {
+		b.addEdge(n, b.g.NodeByObj(fn), e.Pos(), EdgeRef, exprString(e), nil)
+	}
+}
+
+// methodEdges resolves a method call or method value: a concrete
+// receiver yields one static edge; an interface receiver yields a
+// conservative edge to every analyzed implementation.
+func (b *graphBuilder) methodEdges(n *FuncNode, e *ast.SelectorExpr, sel *types.Selection, pos token.Pos, call *ast.CallExpr, isRef bool) {
+	fn, ok := sel.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	recv := sel.Recv()
+	if sel.Kind() == types.MethodExpr {
+		// T.Method expression: receiver is the first signature param.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv = sig.Recv().Type()
+		}
+	}
+	kind := EdgeMethod
+	if isRef {
+		kind = EdgeRef
+	}
+	if recv != nil && types.IsInterface(recv) {
+		ifaceName := recvBase(recv)
+		for _, impl := range b.implementations(recv, fn) {
+			b.addEdge(n, impl, pos, EdgeInterface,
+				ifaceName+"."+fn.Name(), call)
+		}
+		return
+	}
+	b.addEdge(n, b.g.NodeByObj(fn), pos, kind, exprString(e), call)
+}
+
+// implementations returns the analyzed methods that an interface-method
+// call can dispatch to, in deterministic order.
+func (b *graphBuilder) implementations(recv types.Type, m *types.Func) []*FuncNode {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	key := m.FullName()
+	if cached, ok := b.g.impls[key]; ok {
+		return cached
+	}
+	var out []*FuncNode
+	for _, t := range b.g.namedTypes {
+		if !types.Implements(t, iface) && !types.Implements(types.NewPointer(t), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(t, true, m.Pkg(), m.Name())
+		impl, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if node := b.g.NodeByObj(impl); node != nil {
+			out = append(out, node)
+		}
+	}
+	b.g.impls[key] = out
+	return out
+}
+
+// DumpGraph renders every edge as "caller -> callee [kind] @file:line",
+// sorted, for the cmd/dynalint -graph debug view.
+func (g *Graph) DumpGraph() []string {
+	var lines []string
+	for _, n := range g.ordered {
+		for _, e := range n.Out {
+			pos := n.Pkg.Fset.Position(e.Pos)
+			lines = append(lines, fmt.Sprintf("%s -> %s [%s] @%s:%d",
+				n.FullName(), e.Callee.FullName(), e.Kind, pos.Filename, pos.Line))
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// describeCallee renders an edge's target for diagnostics: the call
+// expression as written at the site when available, else the callee's
+// declared name.
+func describeCallee(e *CallEdge) string {
+	if e.Desc != "" && !strings.Contains(e.Desc, "func literal") {
+		return e.Desc
+	}
+	return e.Callee.Name()
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// graphFor builds the whole-program context over one fixture dir.
+func graphFor(t *testing.T, fixture string) (*Program, *Graph) {
+	t.Helper()
+	pkgs := loadFixture(t, fixture)
+	prog := NewProgram(pkgs)
+	return prog, prog.Graph()
+}
+
+// hasEdge reports whether the graph contains caller→callee with the
+// given kind, matching on the rendered node names.
+func hasEdge(g *Graph, caller, callee string, kind EdgeKind) bool {
+	for _, n := range g.Nodes() {
+		if n.Name() != caller {
+			continue
+		}
+		for _, e := range n.Out {
+			if e.Callee.Name() == callee && e.Kind == kind {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestCallGraphEdges pins the edge-shape contract on the callgraph
+// fixture: static calls, method values, conservative interface
+// dispatch, function-typed field wiring, and the documented
+// field-call conservatism.
+func TestCallGraphEdges(t *testing.T) {
+	_, g := graphFor(t, "callgraph")
+	cases := []struct {
+		caller, callee string
+		kind           EdgeKind
+	}{
+		{"Clocker.Tick", "wallRead", EdgeCall},
+		{"MethodValue", "Clocker.Tick", EdgeRef},
+		{"ViaInterface", "Clocker.Tick", EdgeInterface},
+		{"Wire", "wallRead", EdgeRef},
+		{"selfWall", "selfWall", EdgeCall},
+		{"pingWall", "pongWall", EdgeCall},
+		{"pongWall", "pingWall", EdgeCall},
+	}
+	for _, c := range cases {
+		if !hasEdge(g, c.caller, c.callee, c.kind) {
+			t.Errorf("missing edge %s -> %s [%s]", c.caller, c.callee, c.kind)
+		}
+	}
+	// Documented conservatism: a call through a function-typed field
+	// adds no edge — the wiring site (Wire) already carried the EdgeRef.
+	for _, kind := range []EdgeKind{EdgeCall, EdgeMethod, EdgeInterface, EdgeRef} {
+		if hasEdge(g, "Invoke", "wallRead", kind) {
+			t.Errorf("Invoke must not edge to wallRead (field-call conservatism), got %s", kind)
+		}
+	}
+}
+
+// TestCallGraphRecursionTerminates: taint propagation over self- and
+// mutual recursion completes (visited set), every function around the
+// cycle is tainted, and witness paths never loop.
+func TestCallGraphRecursionTerminates(t *testing.T) {
+	prog, g := graphFor(t, "callgraph")
+	taints := prog.taint("walltime", "walltime", walltimeSeeds)
+	for _, name := range []string{"selfWall", "pingWall", "pongWall"} {
+		var node *FuncNode
+		for _, n := range g.Nodes() {
+			if n.Name() == name {
+				node = n
+				break
+			}
+		}
+		if node == nil {
+			t.Fatalf("node %s not found", name)
+		}
+		tn := taints[node]
+		if tn == nil {
+			t.Errorf("%s not tainted through the recursion", name)
+			continue
+		}
+		path := tn.Path(node.Pkg)
+		if !strings.HasSuffix(path, "time.Now") {
+			t.Errorf("%s witness path %q does not end at the primitive", name, path)
+		}
+		if strings.Count(path, name) > 1 {
+			t.Errorf("%s witness path loops: %q", name, path)
+		}
+	}
+	// pongWall has no seed of its own: its witness must route through
+	// pingWall.
+	for _, n := range g.Nodes() {
+		if n.Name() == "pongWall" {
+			if got := taints[n].Path(n.Pkg); got != "pongWall → pingWall → time.Now" {
+				t.Errorf("pongWall path = %q", got)
+			}
+		}
+	}
+}
+
+// TestCallGraphDeterministic: two independent loads produce byte-equal
+// graph dumps and byte-equal, position-sorted diagnostics.
+func TestCallGraphDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		pkgs := loadFixture(t, "callgraph")
+		prog := NewProgram(pkgs)
+		dump := strings.Join(prog.Graph().DumpGraph(), "\n")
+		var lines []string
+		for _, d := range RunSuite([]*Analyzer{WalltimeAnalyzer()}, pkgs) {
+			lines = append(lines, d.String())
+		}
+		return dump, strings.Join(lines, "\n")
+	}
+	dump1, diags1 := render()
+	dump2, diags2 := render()
+	if dump1 != dump2 {
+		t.Error("graph dump differs between two identical loads")
+	}
+	if diags1 != diags2 {
+		t.Error("diagnostics differ between two identical loads")
+	}
+	if !sort.StringsAreSorted(strings.Split(dump1, "\n")) {
+		t.Error("DumpGraph output is not sorted")
+	}
+	if diags1 == "" {
+		t.Fatal("expected walltime findings in the callgraph fixture")
+	}
+}
+
+// TestWalltimeChainPath pins the headline v2 behavior: a helper
+// wrapping time.Now two calls deep is reported at the top caller with
+// the full witness path.
+func TestWalltimeChainPath(t *testing.T) {
+	pkgs := loadFixture(t, "walltime")
+	diags := RunSuite([]*Analyzer{WalltimeAnalyzer()}, pkgs)
+	want := "wallMiddle → wallDeep → time.Now"
+	for _, d := range diags {
+		if strings.Contains(d.Message, want) {
+			return
+		}
+	}
+	t.Fatalf("no diagnostic carries the full witness path %q; got %v", want, diags)
+}
+
+// TestSharedRNGCatchesPR7Shape pins the new analyzer against a
+// reconstruction of the pre-PR-7 CallRetry jitter code: the per-call
+// shared-stream draw is reported at the draw site, and the laundered
+// variant is reported at the caller with its witness path.
+func TestSharedRNGCatchesPR7Shape(t *testing.T) {
+	pkgs := loadFixture(t, "sharedrng")
+	diags := RunSuite([]*Analyzer{SharedrngAnalyzer()}, pkgs)
+	var direct, laundered bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "PR 7 CallRetry jitter bug shape") {
+			direct = true
+		}
+		if strings.Contains(d.Message, "drawJitter → Kernel.RNG") {
+			laundered = true
+		}
+	}
+	if !direct {
+		t.Error("direct shared-stream draw (the PR 7 shape) was not reported")
+	}
+	if !laundered {
+		t.Error("shared-stream draw laundered through a helper was not reported with its witness path")
+	}
+	// The shipped fix shape — a session-derived RNG — must stay clean.
+	for _, d := range diags {
+		if strings.Contains(d.File, "clean.go") {
+			t.Errorf("false positive on the fixed shape: %s", d)
+		}
+	}
+}

@@ -42,7 +42,7 @@ func DroppedrefAnalyzer() *Analyzer {
 	}
 }
 
-func runDroppedref(pkg *Package) []Diagnostic {
+func runDroppedref(_ *Program, pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range pkg.Files {
 		params := paramObjects(pkg, f)

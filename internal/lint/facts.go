@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Fact propagation (dynalint v2). A *seed* is a primitive impurity site
+// inside one function body — a wall-clock read, a stdlib-rand use, a
+// goroutine spawn, a shared-kernel-RNG draw, an ordered emission. The
+// engine lifts seeds to function-level facts and propagates them up the
+// reverse call graph: a function is tainted when its own body seeds the
+// fact or when it has an edge (call, method, conservative interface
+// dispatch, or escaping function value) to a tainted function.
+//
+// Propagation is breadth-first from the seeds, so every tainted
+// function records a *shortest* witness chain down to a primitive —
+// rendered in diagnostics as "a → b → time.Now". BFS over the finite
+// node set with a visited map terminates on any recursion (a cycle
+// can never shorten a witness), and because nodes, seeds, and reverse
+// edges are all visited in deterministic source order, the chosen
+// witness — and therefore the diagnostic text — is byte-stable.
+//
+// Allows sanitize propagation: a seed whose site carries
+// //dynalint:allow <check> does not taint its function, and a tainted
+// callee does not taint a caller through an allowed call site. The
+// audit decision at one line deliberately covers everything above it.
+
+// Seed is one primitive impurity site.
+type Seed struct {
+	Pos  token.Pos
+	Desc string // rendered primitive, e.g. "time.Now", "go statement"
+}
+
+// Taint is the fact instance on one function: either a direct seed or
+// an edge to a tainted callee, forming a witness chain.
+type Taint struct {
+	Node *FuncNode
+	Seed *Seed     // non-nil at the chain's origin
+	Edge *CallEdge // non-nil on propagated taints
+	Next *Taint    // the callee's taint (nil at the origin)
+}
+
+// Path renders the witness chain starting at this taint's function:
+// "deepest → time.Now" or "middle → deepest → time.Now". Function
+// names are package-qualified when seen from a different package.
+func (t *Taint) Path(from *Package) string {
+	var parts []string
+	for cur := t; cur != nil; cur = cur.Next {
+		parts = append(parts, cur.Node.DisplayName(from))
+		if cur.Seed != nil {
+			parts = append(parts, cur.Seed.Desc)
+		}
+	}
+	return strings.Join(parts, " → ")
+}
+
+// seedFunc scans one function body (its own statements only — nested
+// literals are separate nodes) and returns its primitive sites in
+// source order.
+type seedFunc func(*FuncNode) []Seed
+
+// taint computes (and caches under cacheKey) the tainted-node map for
+// one fact. allowCheck is the check name consulted for //dynalint:allow
+// sanitization at seed sites and call edges.
+func (p *Program) taint(allowCheck, cacheKey string, seeds seedFunc) map[*FuncNode]*Taint {
+	if cached, ok := p.taints[cacheKey]; ok {
+		return cached
+	}
+	g := p.Graph()
+	out := map[*FuncNode]*Taint{}
+	var queue []*Taint
+	for _, n := range g.Nodes() {
+		for _, s := range seeds(n) {
+			if p.allowedAt(allowCheck, s.Pos) {
+				continue
+			}
+			s := s
+			t := &Taint{Node: n, Seed: &s}
+			out[n] = t
+			queue = append(queue, t)
+			break // one witness seed per function suffices
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		t := queue[i]
+		for _, e := range t.Node.In {
+			if out[e.Caller] != nil {
+				continue
+			}
+			if p.allowedAt(allowCheck, e.Pos) {
+				continue
+			}
+			nt := &Taint{Node: e.Caller, Edge: e, Next: t}
+			out[e.Caller] = nt
+			queue = append(queue, nt)
+		}
+	}
+	p.taints[cacheKey] = out
+	return out
+}
+
+// taintedEdges returns, in source order, the edges out of pkg's
+// functions whose callee is tainted — the indirect violation sites an
+// analyzer reports with a witness path. Edges into a function's *own*
+// literals are skipped: the literal's body is scanned in place by the
+// direct pass (and the literal's own outgoing edges report themselves),
+// so attributing it again to the definition site would be noise.
+func (p *Program) taintedEdges(pkg *Package, taints map[*FuncNode]*Taint) []*CallEdge {
+	var out []*CallEdge
+	for _, n := range p.Graph().Nodes() {
+		if n.Pkg != pkg {
+			continue
+		}
+		for _, e := range n.Out {
+			if e.Callee == n {
+				continue // self-recursion: the seed reports directly
+			}
+			if taints[e.Callee] == nil {
+				continue
+			}
+			if e.Callee.Lit != nil && e.Callee.Encloser == n {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// edgeVerb describes how an edge transmits impurity, for diagnostics.
+func edgeVerb(e *CallEdge) string {
+	switch e.Kind {
+	case EdgeRef:
+		return "reference to"
+	case EdgeInterface:
+		return "interface call to"
+	default:
+		return "call to"
+	}
+}

@@ -10,6 +10,14 @@
 // code. Each invariant is one analyzer; violating any of them is a
 // build failure via cmd/dynalint wired into scripts/verify.sh.
 //
+// Since v2 the suite is interprocedural: a whole-program call graph
+// (callgraph.go) plus a fact-propagation engine (facts.go) carry
+// "impurity" facts — wall-clock reads, stdlib randomness, concurrency,
+// shared-RNG draws, ordered emission — transitively through any chain
+// of helpers, so a one-line wrapper around time.Now is as visible as
+// the call itself. Diagnostics at indirect sites render the full
+// witness path (a → b → time.Now).
+//
 // The suite is stdlib-only (go/ast, go/parser, go/types, go/importer):
 // go.mod stays dependency-free.
 //
@@ -22,7 +30,10 @@
 // comment on the flagged line or the line directly above it. The
 // reason is mandatory: an allow comment without one does not suppress
 // (and is itself reported), so `grep -rn dynalint:allow` always yields
-// a complete, justified exception inventory.
+// a complete, justified exception inventory (machine-readable via
+// `dynalint -allows`). An allow also sanitizes propagation: a fact is
+// not carried upward through an allowed primitive site or call edge —
+// the audit decision covers the callers too.
 package lint
 
 import (
@@ -53,16 +64,32 @@ type Analyzer struct {
 	Name string // check name used by -checks and //dynalint:allow
 	Doc  string // one-line description of the protected invariant
 	// Exempt lists import-path prefixes the check does not apply to
-	// (the allowlist policy; see DESIGN.md §8).
+	// (the allowlist policy; see DESIGN.md §8). Exemption is a
+	// reporting filter only: facts still propagate *through* exempt
+	// packages, so a cmd/ helper cannot launder wall time into the
+	// simulator.
 	Exempt []string
-	// Run inspects one type-checked package and returns raw findings
-	// (suppression filtering happens in the driver).
-	Run func(*Package) []Diagnostic
+	// Only, when non-empty, restricts the check to packages under the
+	// listed import-path prefixes (the inverse of Exempt, for
+	// contracts like sharedrng that only bind per-session/per-entity
+	// code). Facts still seed and propagate everywhere.
+	Only []string
+	// Run inspects one type-checked package — with whole-program
+	// context for the interprocedural checks — and returns raw
+	// findings (suppression filtering happens in the driver).
+	Run func(*Program, *Package) []Diagnostic
 }
 
 // Exempted reports whether the analyzer skips the given import path.
 func (a *Analyzer) Exempted(path string) bool {
-	for _, p := range a.Exempt {
+	if len(a.Only) > 0 && !underAny(path, a.Only) {
+		return true
+	}
+	return underAny(path, a.Exempt)
+}
+
+func underAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
 		if path == p || strings.HasPrefix(path, p+"/") {
 			return true
 		}
@@ -78,6 +105,8 @@ func Analyzers() []*Analyzer {
 		MaporderAnalyzer(),
 		NogoroutineAnalyzer(),
 		DroppedrefAnalyzer(),
+		SharedrngAnalyzer(),
+		ParsharedAnalyzer(),
 	}
 }
 
@@ -109,25 +138,76 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// Program is the whole-program analysis context shared by every
+// analyzer in one RunSuite call: the package set, the merged
+// suppression table, and (built lazily) the call graph and per-check
+// taint sets.
+type Program struct {
+	Pkgs []*Package
+
+	fset   *token.FileSet
+	sup    suppressions
+	bad    []Diagnostic // malformed allow directives
+	graph  *Graph
+	taints map[string]map[*FuncNode]*Taint
+}
+
+// NewProgram assembles the whole-program context: it scans every
+// package's comments for //dynalint:allow directives (collecting
+// malformed ones as diagnostics) but defers call-graph construction
+// until an interprocedural check asks for it.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:   pkgs,
+		sup:    suppressions{},
+		taints: map[string]map[*FuncNode]*Taint{},
+	}
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		if p.fset == nil {
+			p.fset = pkg.Fset
+		}
+		bad := collectAllows(pkg, known, p.sup)
+		p.bad = append(p.bad, bad...)
+	}
+	return p
+}
+
+// Graph returns the whole-program call graph, building it on first use.
+func (p *Program) Graph() *Graph {
+	if p.graph == nil {
+		p.graph = buildGraph(p.Pkgs)
+	}
+	return p.graph
+}
+
+// allowedAt reports whether the position carries (or sits under) a
+// //dynalint:allow for the check. Used both to filter diagnostics and
+// to stop fact propagation through audited sites.
+func (p *Program) allowedAt(check string, pos token.Pos) bool {
+	if p.fset == nil {
+		return false
+	}
+	return p.sup.allows(check, p.fset.Position(pos))
+}
+
 // RunSuite applies the analyzers to every package, filters suppressed
 // findings via //dynalint:allow comments, and returns the remaining
 // diagnostics sorted by position. Malformed allow comments (missing
 // reason, unknown check name) are themselves reported.
 func RunSuite(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
-	known := make(map[string]bool)
-	for _, a := range Analyzers() {
-		known[a.Name] = true
-	}
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		sup, bad := collectAllows(pkg, known)
-		out = append(out, bad...)
+	prog := NewProgram(pkgs)
+	out := append([]Diagnostic{}, prog.bad...)
+	for _, pkg := range prog.Pkgs {
 		for _, a := range analyzers {
 			if a.Exempted(pkg.Path) {
 				continue
 			}
-			for _, d := range a.Run(pkg) {
-				if sup.allows(a.Name, d.Pos) {
+			for _, d := range a.Run(prog, pkg) {
+				if prog.sup.allows(a.Name, d.Pos) {
 					continue
 				}
 				out = append(out, d)
@@ -186,12 +266,11 @@ func (s suppressions) allows(check string, pos token.Position) bool {
 
 const allowPrefix = "//dynalint:allow"
 
-// collectAllows scans every comment in the package for allow directives.
-// It returns the suppression table plus diagnostics for malformed
-// directives (so a reason-less allow fails the build rather than
-// silently widening the exception).
-func collectAllows(pkg *Package, known map[string]bool) (suppressions, []Diagnostic) {
-	sup := suppressions{}
+// collectAllows scans every comment in the package for allow directives,
+// merging well-formed ones into sup. It returns diagnostics for
+// malformed directives (so a reason-less allow fails the build rather
+// than silently widening the exception).
+func collectAllows(pkg *Package, known map[string]bool, sup suppressions) []Diagnostic {
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -226,7 +305,7 @@ func collectAllows(pkg *Package, known map[string]bool) (suppressions, []Diagnos
 			}
 		}
 	}
-	return sup, bad
+	return bad
 }
 
 // importName returns the local name a file binds the given import path

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -14,10 +15,16 @@ import (
 // reproducibility while passing single-run tests. Concurrency is the
 // business of the approved parallel harness (internal/experiments runs
 // one kernel per worker goroutine) and of cmd/ front-ends.
+//
+// v2 is interprocedural: the exempt harness packages (par, experiments,
+// fleet) seed concurrency facts that propagate to callers, so a
+// kernel-callback package calling par.ForEach through any chain of
+// helpers is reported with the witness path — exemption covers a
+// package's own code, not laundering concurrency into the kernel.
 func NogoroutineAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "nogoroutine",
-		Doc:  "no go statements, channel ops, select, or sync primitives in single-threaded kernel-callback packages",
+		Doc:  "no go statements, channel ops, select, or sync primitives in single-threaded kernel-callback packages, directly or through any chain of helpers",
 		Exempt: []string{
 			"dynaplat/internal/experiments", // approved parallel harness: one kernel per worker
 			"dynaplat/internal/fleet",       // fleet shards: one vehicle kernel per worker
@@ -28,7 +35,42 @@ func NogoroutineAnalyzer() *Analyzer {
 	}
 }
 
-func runNogoroutine(pkg *Package) []Diagnostic {
+// nogoroutineSeeds returns the direct concurrency sites of one function
+// body: goroutine spawns, channel operations, select statements, and
+// uses of the sync/sync-atomic packages.
+func nogoroutineSeeds(n *FuncNode) []Seed {
+	var out []Seed
+	n.walkOwn(func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.GoStmt:
+			out = append(out, Seed{Pos: s.Pos(), Desc: "go statement"})
+		case *ast.SendStmt:
+			out = append(out, Seed{Pos: s.Pos(), Desc: "channel send"})
+		case *ast.UnaryExpr:
+			if s.Op.String() == "<-" {
+				out = append(out, Seed{Pos: s.Pos(), Desc: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			out = append(out, Seed{Pos: s.Pos(), Desc: "select statement"})
+		case *ast.SelectorExpr:
+			id, ok := s.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := n.Pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if path := pn.Imported().Path(); path == "sync" || path == "sync/atomic" {
+				out = append(out, Seed{Pos: s.Pos(), Desc: path + "." + s.Sel.Name})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func runNogoroutine(prog *Program, pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	const hint = "kernel-callback packages are single-threaded (one kernel per goroutine); move concurrency to internal/experiments or cmd/"
 	for _, f := range pkg.Files {
@@ -58,6 +100,12 @@ func runNogoroutine(pkg *Package) []Diagnostic {
 			}
 			return true
 		})
+	}
+	taints := prog.taint("nogoroutine", "nogoroutine", nogoroutineSeeds)
+	for _, e := range prog.taintedEdges(pkg, taints) {
+		out = append(out, pkg.diag("nogoroutine", e.Pos,
+			"%s %s spawns concurrency through %s: %s",
+			edgeVerb(e), describeCallee(e), taints[e.Callee].Path(pkg), hint))
 	}
 	return out
 }

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const parForEach = "dynaplat/internal/par.ForEach"
+
+// ParsharedAnalyzer enforces the worker-pool write-discipline contract:
+// a callback handed to internal/par.ForEach runs concurrently on every
+// worker, so it may only write into the slot it owns — the element of a
+// pre-sized results slice addressed by its own index parameter. Any
+// other write to captured state is a data race that Go's race detector
+// only catches when the schedule happens to interleave, and — worse for
+// this codebase — a determinism leak: the winning writer depends on OS
+// scheduling, so the merged result differs run to run.
+//
+// Flagged inside the callback (at any nesting depth — a closure spawned
+// from the callback still runs on the worker):
+//
+//   - assignment to a captured or package-level variable;
+//   - any write into a captured map (concurrent map writes fault);
+//   - a write into a captured slice/array whose index expression does
+//     not mention the callback's index parameter (two workers can claim
+//     the same slot);
+//   - writes through captured pointers or fields of captured structs.
+//
+// Channel sends are allowed: draining a channel after Wait is the
+// pool's approved streaming shape. Mutating a captured value by calling
+// a method on it is not seen (documented conservatism — the receiver
+// read is not an assignment).
+func ParsharedAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "parshared",
+		Doc:  "callbacks passed to par.ForEach may only write through their own index parameter's slot; anything else races across workers",
+		Exempt: []string{
+			"dynaplat/internal/par", // the pool implementation itself
+		},
+		Run: runParshared,
+	}
+}
+
+func runParshared(prog *Program, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	seen := map[string]bool{} // a named callback reused by two pools reports once
+	g := prog.Graph()
+	for _, n := range g.Nodes() {
+		if n.Pkg != pkg {
+			continue
+		}
+		n.walkOwn(func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isForEachCall(pkg, call) || len(call.Args) == 0 {
+				return true
+			}
+			cb := ast.Unparen(call.Args[len(call.Args)-1])
+			body, idxParams := callbackBody(prog, pkg, cb)
+			if body == nil {
+				return true
+			}
+			for _, d := range checkCallbackWrites(pkg, body, idxParams) {
+				key := d.String()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, d)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isForEachCall reports whether the call statically resolves to
+// internal/par.ForEach.
+func isForEachCall(pkg *Package, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[f.Sel]
+	case *ast.Ident:
+		obj = pkg.Info.Uses[f]
+	}
+	fn, ok := obj.(*types.Func)
+	return ok && fn.FullName() == parForEach
+}
+
+// callbackBody resolves the worker callback expression to its body and
+// the set of index-parameter objects. Inline literals and statically
+// named functions are resolved; anything dynamic (a function-typed
+// field, an interface method) is skipped — a documented conservatism.
+func callbackBody(prog *Program, pkg *Package, cb ast.Expr) (*ast.BlockStmt, map[types.Object]bool) {
+	switch v := cb.(type) {
+	case *ast.FuncLit:
+		return v.Body, fieldObjects(pkg, v.Type.Params)
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[v].(*types.Func); ok {
+			if node := prog.Graph().NodeByObj(fn); node != nil && node.Decl != nil {
+				return node.Decl.Body, fieldObjects(node.Pkg, node.Decl.Type.Params)
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[v.Sel].(*types.Func); ok {
+			if node := prog.Graph().NodeByObj(fn); node != nil && node.Decl != nil {
+				return node.Decl.Body, fieldObjects(node.Pkg, node.Decl.Type.Params)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func fieldObjects(pkg *Package, fl *ast.FieldList) map[types.Object]bool {
+	set := map[types.Object]bool{}
+	if fl == nil {
+		return set
+	}
+	for _, field := range fl.List {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				set[obj] = true
+			}
+		}
+	}
+	return set
+}
+
+// checkCallbackWrites walks the callback body — including nested
+// literals, which also execute on the worker — and flags writes to
+// shared state.
+func checkCallbackWrites(pkg *Package, body *ast.BlockStmt, idxParams map[types.Object]bool) []Diagnostic {
+	var out []Diagnostic
+	flagWrite := func(lhs ast.Expr) {
+		if d, bad := classifyWrite(pkg, body, idxParams, lhs); bad {
+			out = append(out, d)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				flagWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			flagWrite(s.X)
+		}
+		return true
+	})
+	return out
+}
+
+// classifyWrite decides whether one assignment target inside a ForEach
+// callback is a race, returning the diagnostic when it is.
+func classifyWrite(pkg *Package, body *ast.BlockStmt, idxParams map[types.Object]bool, lhs ast.Expr) (Diagnostic, bool) {
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v.Name == "_" {
+			return Diagnostic{}, false
+		}
+		if obj := identObj(pkg, v); capturedBy(body, idxParams, obj) {
+			return pkg.diag("parshared", v.Pos(),
+				"ForEach callback assigns to captured variable %q: every worker writes the same location, a data race and a scheduling-dependent result; write into your own index's slot of a pre-sized slice instead", v.Name), true
+		}
+	case *ast.IndexExpr:
+		root := rootIdent(v.X)
+		obj := identObj(pkg, root)
+		if !capturedBy(body, idxParams, obj) {
+			return Diagnostic{}, false
+		}
+		if tv, ok := pkg.Info.Types[v.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return pkg.diag("parshared", v.Pos(),
+					"ForEach callback writes into captured map %q: concurrent map writes fault at runtime; collect per-index results and merge after Wait", exprString(v.X)), true
+			}
+		}
+		if !indexUsesParam(pkg, v.Index, idxParams) {
+			return pkg.diag("parshared", v.Pos(),
+				"ForEach callback writes %s with an index that is not its own index parameter: two workers can claim the same slot; index the results slice by the callback's index argument", exprString(v)), true
+		}
+	case *ast.SelectorExpr:
+		root := rootIdent(v)
+		if obj := identObj(pkg, root); capturedBy(body, idxParams, obj) {
+			return pkg.diag("parshared", v.Pos(),
+				"ForEach callback writes field %s of captured %q: every worker mutates the same object; write into your own index's slot instead", exprString(v), root.Name), true
+		}
+	case *ast.StarExpr:
+		root := rootIdent(v.X)
+		if obj := identObj(pkg, root); capturedBy(body, idxParams, obj) {
+			return pkg.diag("parshared", v.Pos(),
+				"ForEach callback writes through captured pointer %q: every worker writes the same location; write into your own index's slot instead", root.Name), true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// identObj resolves an identifier to its object (use or def).
+func identObj(pkg *Package, id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// capturedBy reports whether the object is shared state from the
+// callback's point of view: declared outside the callback body and not
+// one of its own parameters.
+func capturedBy(body *ast.BlockStmt, idxParams map[types.Object]bool, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	if idxParams[obj] {
+		return false
+	}
+	return obj.Pos() < body.Pos() || obj.Pos() >= body.End()
+}
+
+// rootIdent unwraps selector/index/star/paren chains to the base
+// identifier, or nil when the base is not a plain identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// indexUsesParam reports whether the index expression mentions one of
+// the callback's own parameters.
+func indexUsesParam(pkg *Package, idx ast.Expr, idxParams map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if idxParams[identObj(pkg, id)] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -16,6 +18,15 @@ var randPackages = []string{
 	"crypto/rand",
 }
 
+func isRandPackage(path string) bool {
+	for _, banned := range randPackages {
+		if path == banned {
+			return true
+		}
+	}
+	return false
+}
+
 // SeededrandAnalyzer enforces the seeded-randomness contract: all
 // randomness flows through the deterministic, splittable sim.RNG
 // (xoshiro256** seeded from the campaign/experiment seed), never
@@ -23,10 +34,15 @@ var randPackages = []string{
 // contract is structural, not call-site-by-call-site: once the package
 // is imported, a later edit can reach the global source without any
 // new import line to review.
+//
+// v2 is interprocedural: a function in *any* analyzed package —
+// including the exempt internal/sim — that touches stdlib rand taints
+// its callers, so an exempt package cannot launder nondeterministic
+// randomness to the rest of the tree through a helper.
 func SeededrandAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "seededrand",
-		Doc:  "no math/rand or crypto/rand; all randomness flows through the seeded sim.RNG",
+		Doc:  "no math/rand or crypto/rand, directly or through any chain of helpers; all randomness flows through the seeded sim.RNG",
 		// internal/sim hosts the deterministic RNG implementation and
 		// is the one place allowed to reference stdlib rand (e.g. to
 		// adapt it behind determinism tests).
@@ -37,18 +53,44 @@ func SeededrandAnalyzer() *Analyzer {
 	}
 }
 
-func runSeededrand(pkg *Package) []Diagnostic {
+// seededrandSeeds returns direct stdlib-rand uses in one function body.
+func seededrandSeeds(n *FuncNode) []Seed {
+	var out []Seed
+	n.walkOwn(func(x ast.Node) bool {
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := n.Pkg.Info.Uses[id].(*types.PkgName)
+		if !ok || !isRandPackage(pn.Imported().Path()) {
+			return true
+		}
+		out = append(out, Seed{Pos: sel.Pos(), Desc: pn.Imported().Path() + "." + sel.Sel.Name})
+		return true
+	})
+	return out
+}
+
+func runSeededrand(prog *Program, pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range pkg.Files {
 		for _, imp := range f.Imports {
 			path := strings.Trim(imp.Path.Value, `"`)
-			for _, banned := range randPackages {
-				if path == banned {
-					out = append(out, pkg.diag("seededrand", imp.Pos(),
-						"import of %s: randomness must flow through the seeded sim.RNG (Kernel.RNG or RNG.Split)", path))
-				}
+			if isRandPackage(path) {
+				out = append(out, pkg.diag("seededrand", imp.Pos(),
+					"import of %s: randomness must flow through the seeded sim.RNG (Kernel.RNG or RNG.Split)", path))
 			}
 		}
+	}
+	taints := prog.taint("seededrand", "seededrand", seededrandSeeds)
+	for _, e := range prog.taintedEdges(pkg, taints) {
+		out = append(out, pkg.diag("seededrand", e.Pos,
+			"%s %s reaches stdlib randomness through %s: randomness must flow through the seeded sim.RNG (Kernel.RNG or RNG.Split)",
+			edgeVerb(e), describeCallee(e), taints[e.Callee].Path(pkg)))
 	}
 	return out
 }

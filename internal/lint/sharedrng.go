@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SharedrngAnalyzer enforces the RNG-isolation contract in
+// per-session/per-entity code: logic whose behavior must be a pure
+// function of its own identity (a session ID, an entity seed) may not
+// draw from the shared kernel RNG stream. Drawing from Kernel.RNG()
+// couples a session's randomness to *every other consumer's* draw
+// count, so adding an unrelated subsystem — or reordering two sessions
+// — silently changes jitter, backoff, and sampling decisions that
+// per-seed regression baselines depend on. This is the PR 7 CallRetry
+// bug shape: retry jitter drawn from the shared stream made retry
+// schedules depend on unrelated bus traffic; the fix derives a
+// per-session RNG (sim.NewRNG(seed ^ mix(session))) or splits one at
+// construction (RNG().Split()).
+//
+// The check is scoped via Only to the packages whose contracts are
+// per-session/per-entity (SOA middleware, reconfiguration, redundancy).
+// Construction-time Split() in platform/bus packages is the approved
+// pattern and stays out of scope. Facts propagate interprocedurally:
+// a helper that draws from the shared stream taints its callers at any
+// depth, reported with the witness path.
+func SharedrngAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "sharedrng",
+		Doc:  "per-session/per-entity code must not draw from the shared kernel RNG (Kernel.RNG); derive a per-session RNG from the session identity instead",
+		Only: []string{
+			"dynaplat/internal/soa",
+			"dynaplat/internal/reconfig",
+			"dynaplat/internal/redundancy",
+			"dynaplat/internal/lint/testdata/sharedrng",
+		},
+		Run: runSharedrng,
+	}
+}
+
+// sharedrngSeeds returns the Kernel.RNG() call sites of one function
+// body — each one is a draw handle on the shared stream. A call whose
+// result is immediately split (k.RNG().Split()) is still seeded: the
+// split itself advances the shared stream, so per-session code doing it
+// per-call re-creates the coupling; only construction-time splitting in
+// the owning package (outside Only) is safe.
+func sharedrngSeeds(n *FuncNode) []Seed {
+	var out []Seed
+	n.walkOwn(func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || fun.Sel.Name != "RNG" {
+			return true
+		}
+		sel, ok := n.Pkg.Info.Selections[fun]
+		if !ok || sel.Kind() != types.MethodVal {
+			return true
+		}
+		if !namedFrom(sel.Recv(), simPath, "Kernel") {
+			return true
+		}
+		out = append(out, Seed{Pos: call.Pos(), Desc: "Kernel.RNG"})
+		return true
+	})
+	return out
+}
+
+func runSharedrng(prog *Program, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	const hint = "per-session randomness must be derived from the session identity (sim.NewRNG(seed^mix(id)) or a construction-time Split), not the shared kernel stream"
+	taints := prog.taint("sharedrng", "sharedrng", sharedrngSeeds)
+	for _, n := range prog.Graph().Nodes() {
+		if n.Pkg != pkg {
+			continue
+		}
+		t := taints[n]
+		if t == nil || t.Seed == nil {
+			continue
+		}
+		out = append(out, pkg.diag("sharedrng", t.Seed.Pos,
+			"Kernel.RNG draws from the shared kernel stream, coupling this code to every other consumer's draw count (the PR 7 CallRetry jitter bug shape); %s", hint))
+	}
+	for _, e := range prog.taintedEdges(pkg, taints) {
+		out = append(out, pkg.diag("sharedrng", e.Pos,
+			"%s %s reaches the shared kernel RNG through %s; %s",
+			edgeVerb(e), describeCallee(e), taints[e.Callee].Path(pkg), hint))
+	}
+	return out
+}

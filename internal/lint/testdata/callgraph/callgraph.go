@@ -1,0 +1,87 @@
+// Package fixture exercises call-graph edge cases: method values,
+// interface dispatch, function-typed fields, and recursion. It is read
+// by callgraph_test.go (edge-shape assertions) and doubles as a
+// walltime fixture for propagation through each edge kind.
+package fixture
+
+import "time"
+
+// wallRead is the primitive: everything below is some number of edges
+// away from it.
+func wallRead() time.Time {
+	return time.Now()
+}
+
+// Clocker implements Ticker with a concrete method that wraps the
+// primitive.
+type Clocker struct{}
+
+func (Clocker) Tick() time.Time {
+	return wallRead()
+}
+
+// MethodValue escapes c.Tick as a value: an EdgeRef, reported because
+// whoever registers a wall-clock-reading callback owns the impurity.
+func MethodValue() func() time.Time {
+	var c Clocker
+	return c.Tick
+}
+
+// Ticker is dispatched conservatively to every analyzed implementation.
+type Ticker interface {
+	Tick() time.Time
+}
+
+// ViaInterface calls through the interface: an EdgeInterface to
+// Clocker.Tick.
+func ViaInterface(t Ticker) time.Time {
+	return t.Tick()
+}
+
+// Widget wires a function-typed field.
+type Widget struct {
+	cb func() time.Time
+}
+
+// Wire stores the primitive in the field: the EdgeRef lands here, at
+// the wiring site.
+func Wire() Widget {
+	return Widget{cb: wallRead}
+}
+
+// Invoke calls through the field: documented conservatism — no edge,
+// the wiring site already carried the taint.
+func Invoke(w Widget) time.Time {
+	return w.cb()
+}
+
+// selfWall is self-recursive: the seed reports once, the self-edge is
+// not reported again, and propagation terminates.
+func selfWall(n int) time.Time {
+	if n == 0 {
+		return time.Now()
+	}
+	return selfWall(n - 1)
+}
+
+// pingWall / pongWall are mutually recursive around a seed: BFS with a
+// visited set terminates and still produces a witness path.
+func pingWall(n int) time.Time {
+	if n == 0 {
+		return time.Now()
+	}
+	return pongWall(n - 1)
+}
+
+func pongWall(n int) time.Time {
+	return pingWall(n - 1)
+}
+
+// Entry keeps the unexported functions live.
+func Entry() time.Time {
+	_ = MethodValue()
+	_ = ViaInterface(Clocker{})
+	_ = Invoke(Wire())
+	_ = selfWall(1)
+	return pingWall(2)
+}

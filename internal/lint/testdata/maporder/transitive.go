@@ -1,0 +1,67 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynaplat/internal/sim"
+)
+
+// The v1 false negative, closed in v2: emission routed through a named
+// function — package-level or a local closure — is resolved through the
+// call graph and reported at the call site inside the map range.
+
+// emitLine writes one line into an outliving sink (the caller's
+// builder).
+func emitLine(sb *strings.Builder, k string, v int) {
+	fmt.Fprintf(sb, "%s=%d\n", k, v)
+}
+
+// DumpHelperBad hides the emission behind a package function.
+func DumpHelperBad(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		emitLine(sb, k, v) // want:maporder
+	}
+}
+
+// DumpLocalBad hides it behind a named local closure.
+func DumpLocalBad(m map[string]int, sb *strings.Builder) {
+	emit := func(k string) { sb.WriteString(k) }
+	for k := range m {
+		emit(k) // want:maporder
+	}
+}
+
+// armAfter schedules through the kernel — consuming an event sequence
+// number — one level down.
+func armAfter(k *sim.Kernel, d sim.Duration, fn func()) {
+	k.After(d, fn)
+}
+
+// ScheduleHelperBad reaches kernel scheduling through the helper.
+func ScheduleHelperBad(k *sim.Kernel, offsets map[string]sim.Duration) {
+	for _, d := range offsets {
+		armAfter(k, d, func() {}) // want:maporder
+	}
+}
+
+// formatPair assembles and returns a string using only its own locals:
+// not an emitter — the order hazard, if any, is at the caller's use of
+// the value.
+func formatPair(k string, v int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s=%d", k, v)
+	return sb.String()
+}
+
+// CollectSortedClean calls the pure helper from the range and sorts the
+// accumulator before use — the approved shape stays clean.
+func CollectSortedClean(m map[string]int) []string {
+	var lines []string
+	for k, v := range m {
+		lines = append(lines, formatPair(k, v))
+	}
+	sort.Strings(lines)
+	return lines
+}

@@ -1,0 +1,73 @@
+// Package fixture holds parshared true positives: ForEach callbacks
+// writing shared state instead of their own index's slot — data races
+// whose winning writer depends on OS scheduling.
+package fixture
+
+import "dynaplat/internal/par"
+
+// SumBad accumulates into a captured scalar from every worker.
+func SumBad(xs []int) int {
+	total := 0
+	_ = par.ForEach(len(xs), 4, func(i int) {
+		total += xs[i] // want:parshared
+	})
+	return total
+}
+
+// MapBad writes a captured map concurrently — this faults at runtime.
+func MapBad(xs []int, out map[int]int) {
+	_ = par.ForEach(len(xs), 4, func(i int) {
+		out[i] = xs[i] * 2 // want:parshared
+	})
+}
+
+// SlotBad indexes the results slice with something other than the
+// callback's own index parameter: two workers can claim slot 0.
+func SlotBad(xs, ys []int) {
+	_ = par.ForEach(len(xs), 4, func(i int) {
+		ys[0] = xs[i] // want:parshared
+	})
+}
+
+type tally struct{ n int }
+
+// FieldBad mutates a field of a captured struct from every worker.
+func FieldBad(xs []int, t *tally) {
+	_ = par.ForEach(len(xs), 4, func(i int) {
+		t.n = xs[i] // want:parshared
+	})
+}
+
+// PtrBad writes through a captured pointer.
+func PtrBad(xs []int, p *int) {
+	_ = par.ForEach(len(xs), 4, func(i int) {
+		*p = xs[i] // want:parshared
+	})
+}
+
+var hitCount int
+
+// bumpHits is a named callback: resolved statically, its body is held
+// to the same discipline.
+func bumpHits(i int) {
+	hitCount++ // want:parshared
+	_ = i
+}
+
+// NamedBad hands the named callback to the pool.
+func NamedBad(n int) {
+	_ = par.ForEach(n, 4, bumpHits)
+}
+
+// NestedBad races from a closure spawned inside the callback — still on
+// the worker.
+func NestedBad(xs []int) int {
+	worst := 0
+	_ = par.ForEach(len(xs), 4, func(i int) {
+		update := func() {
+			worst = xs[i] // want:parshared
+		}
+		update()
+	})
+	return worst
+}

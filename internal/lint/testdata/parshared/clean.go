@@ -1,0 +1,45 @@
+package fixture
+
+import "dynaplat/internal/par"
+
+// SquaresClean is the approved shape: each worker writes only the slot
+// addressed by its own index parameter in a pre-sized slice.
+func SquaresClean(xs []int) []int {
+	out := make([]int, len(xs))
+	_ = par.ForEach(len(xs), 4, func(i int) {
+		out[i] = xs[i] * xs[i]
+	})
+	return out
+}
+
+// OffsetClean still mentions the index parameter — arithmetic on the
+// claimed index stays within the callback's ownership discipline.
+func OffsetClean(xs []int) []int {
+	out := make([]int, 2*len(xs))
+	_ = par.ForEach(len(xs), 4, func(i int) {
+		out[2*i] = xs[i]
+		out[2*i+1] = -xs[i]
+	})
+	return out
+}
+
+// StreamClean sends results over a channel — the pool's approved
+// streaming shape (drained after Wait by the caller).
+func StreamClean(xs []int, ch chan int) {
+	_ = par.ForEach(len(xs), 4, func(i int) {
+		ch <- xs[i]
+	})
+}
+
+// LocalsClean mutates only its own locals.
+func LocalsClean(xs []int) []int {
+	out := make([]int, len(xs))
+	_ = par.ForEach(len(xs), 4, func(i int) {
+		acc := 0
+		for j := 0; j <= i && j < len(xs); j++ {
+			acc += xs[j]
+		}
+		out[i] = acc
+	})
+	return out
+}

@@ -1,0 +1,40 @@
+// Package fixture holds sharedrng true positives: per-session code
+// drawing from the shared kernel RNG stream, coupling its randomness to
+// every other consumer's draw count — the pre-PR-7 CallRetry jitter bug
+// shape.
+package fixture
+
+import "dynaplat/internal/sim"
+
+// Middleware reconstructs the pre-PR-7 soa.Middleware retry path.
+type Middleware struct {
+	k       *sim.Kernel
+	backoff sim.Duration
+}
+
+// scheduleRetryBad is the pre-PR-7 CallRetry jitter code: retry jitter
+// drawn per call from the shared kernel stream, so a session's retry
+// schedule silently shifts whenever unrelated bus traffic draws.
+func (m *Middleware) scheduleRetryBad(session uint64) sim.Duration {
+	jitter := m.k.RNG().Float64() // want:sharedrng
+	_ = session
+	return m.backoff + sim.Duration(jitter*float64(m.backoff))
+}
+
+// SplitPerCallBad shows that splitting per call is no better: the Split
+// itself advances the shared stream.
+func (m *Middleware) SplitPerCallBad(session uint64) *sim.RNG {
+	_ = session
+	return m.k.RNG().Split() // want:sharedrng
+}
+
+// drawJitter launders the shared draw through a helper.
+func drawJitter(k *sim.Kernel) float64 {
+	return k.RNG().Float64() // want:sharedrng
+}
+
+// RetryBackoffBad reaches the shared stream through the helper and is
+// reported with the witness path.
+func (m *Middleware) RetryBackoffBad() float64 {
+	return drawJitter(m.k) // want:sharedrng
+}

@@ -1,0 +1,16 @@
+package fixture
+
+import "dynaplat/internal/sim"
+
+// sessionJitter is the shipped PR 7 fix shape: a per-session RNG
+// derived purely from the session identity, independent of every other
+// consumer's draw count.
+func (m *Middleware) sessionJitter(seed, session uint64) *sim.RNG {
+	return sim.NewRNG(seed ^ 0x9E3779B97F4A7C15*session ^ 0xD1B54A32D192ED03)
+}
+
+// RetryBackoffClean draws from the session-derived stream.
+func (m *Middleware) RetryBackoffClean(seed, session uint64) sim.Duration {
+	jitter := m.sessionJitter(seed, session).Float64()
+	return m.backoff + sim.Duration(jitter*float64(m.backoff))
+}

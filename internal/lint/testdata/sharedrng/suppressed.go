@@ -1,0 +1,19 @@
+package fixture
+
+import "dynaplat/internal/sim"
+
+// InitialSeed draws once at construction to derive the middleware's
+// base seed — an audited exception: a single construction-time draw
+// cannot couple steady-state behavior across sessions, and the allow
+// sanitizes propagation so constructors calling this stay clean.
+func InitialSeed(k *sim.Kernel) uint64 {
+	//dynalint:allow sharedrng fixture: single construction-time draw, before any session exists
+	return k.RNG().Uint64()
+}
+
+// NewMiddleware calls the allowed helper: no finding, because the allow
+// at the draw site covers its callers too.
+func NewMiddleware(k *sim.Kernel) *Middleware {
+	_ = InitialSeed(k)
+	return &Middleware{k: k, backoff: 10}
+}

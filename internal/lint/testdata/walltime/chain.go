@@ -1,0 +1,22 @@
+package fixture
+
+import "time"
+
+// The v2 interprocedural chain: wallDeep reads the clock, wallMiddle
+// wraps it, ChainTop is two calls away — every link is reported, the
+// indirect ones with the full witness path
+// ("wallMiddle → wallDeep → time.Now").
+
+func wallDeep() time.Time {
+	return time.Now() // want:walltime
+}
+
+func wallMiddle() time.Time {
+	return wallDeep() // want:walltime
+}
+
+// ChainTop never mentions the time package, yet depends on the wall
+// clock two helpers down.
+func ChainTop() time.Time {
+	return wallMiddle() // want:walltime
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // wallFuncs are the package-level time functions that read or react to
@@ -26,10 +27,15 @@ var wallFuncs = map[string]string{
 // virtual time (sim.Kernel); a single time.Now or time.Sleep makes
 // results depend on GC pauses and machine load. Wall time is allowed
 // only in cmd/ (harness/CLI timing around a run, never inside one).
+//
+// v2 is interprocedural: a helper wrapping time.Now — at any depth,
+// in any analyzed package, exempt or not — taints every caller, and
+// the call site is reported with the full witness path
+// (middle → deepest → time.Now).
 func WalltimeAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "walltime",
-		Doc:  "no wall-clock time (time.Now/Sleep/After/...) outside the cmd/ harness; simulation code runs on kernel virtual time",
+		Doc:  "no wall-clock time (time.Now/Sleep/After/...) outside the cmd/ harness, directly or through any chain of helpers; simulation code runs on kernel virtual time",
 		Exempt: []string{
 			"dynaplat/cmd", // harness timing around whole runs
 		},
@@ -37,7 +43,32 @@ func WalltimeAnalyzer() *Analyzer {
 	}
 }
 
-func runWalltime(pkg *Package) []Diagnostic {
+// walltimeSeeds returns the direct wall-clock sites in one function
+// body.
+func walltimeSeeds(n *FuncNode) []Seed {
+	var out []Seed
+	n.walkOwn(func(x ast.Node) bool {
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := n.Pkg.Info.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "time" {
+			return true
+		}
+		if _, bad := wallFuncs[sel.Sel.Name]; bad {
+			out = append(out, Seed{Pos: sel.Pos(), Desc: "time." + sel.Sel.Name})
+		}
+		return true
+	})
+	return out
+}
+
+func runWalltime(prog *Program, pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range pkg.Files {
 		name := importName(f, "time")
@@ -76,6 +107,14 @@ func runWalltime(pkg *Package) []Diagnostic {
 			}
 			return true
 		})
+	}
+	// Interprocedural pass: report every edge to a transitively
+	// wall-clock-tainted function with its witness path.
+	taints := prog.taint("walltime", "walltime", walltimeSeeds)
+	for _, e := range prog.taintedEdges(pkg, taints) {
+		out = append(out, pkg.diag("walltime", e.Pos,
+			"%s %s reaches the wall clock through %s: simulation code must use kernel virtual time (sim.Kernel Now/After/Every)",
+			edgeVerb(e), describeCallee(e), taints[e.Callee].Path(pkg)))
 	}
 	return out
 }

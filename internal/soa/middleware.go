@@ -379,10 +379,18 @@ func (e *Endpoint) ECU() string { return e.ecu }
 // it lazily.
 func (e *Endpoint) Migrate(ecu string) {
 	e.ecu = ecu
+	// Attach in sorted network order: station attach order is visible in
+	// delivery dispatch and trace output, so it must not follow map
+	// iteration order.
+	var nets []string
 	for _, svc := range e.m.svcs {
 		if svc.provider == e && svc.netName != "" {
-			e.m.ensureAttached(e.m.nets[svc.netName], ecu)
+			nets = append(nets, svc.netName)
 		}
+	}
+	sort.Strings(nets)
+	for _, name := range nets {
+		e.m.ensureAttached(e.m.nets[name], ecu)
 	}
 }
 

@@ -40,7 +40,22 @@ if [ "${1:-}" = "--smoke" ]; then
   SMOKE=1
   BENCHTIME=1x
   OUT="$(mktemp)"
-  trap 'rm -f "$OUT"' EXIT
+  DLDIR="$(mktemp -d)"
+  trap 'rm -f "$OUT"; rm -rf "$DLDIR"' EXIT
+
+  # Whole-tree dynalint runtime budget: the interprocedural suite
+  # (call graph + fact propagation over every non-test package) must
+  # stay interactive. Build the driver first so only analysis time is
+  # measured, not compilation.
+  go build -o "$DLDIR/dynalint" ./cmd/dynalint
+  dl_start=$(date +%s)
+  "$DLDIR/dynalint" ./...
+  dl_elapsed=$(( $(date +%s) - dl_start ))
+  if [ "$dl_elapsed" -ge 30 ]; then
+    echo "bench.sh --smoke: whole-tree dynalint took ${dl_elapsed}s, budget is 30s" >&2
+    exit 1
+  fi
+  echo "bench.sh --smoke: whole-tree dynalint in ${dl_elapsed}s (budget 30s)"
 fi
 
 if [ "${1:-}" = "--compare" ]; then

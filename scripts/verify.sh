@@ -23,11 +23,33 @@ echo "==> go vet ./..."
 go vet ./...
 
 # dynalint: the determinism & lifecycle static-analysis suite
-# (DESIGN.md §8). Enforces the five contracts — walltime, seededrand,
-# maporder, nogoroutine, droppedref — that the soak tests below can
-# only sample; violating any of them is a build failure here.
+# (DESIGN.md §8). Enforces the seven contracts — walltime, seededrand,
+# maporder, nogoroutine, droppedref, sharedrng, parshared —
+# interprocedurally over a whole-program call graph; the soak tests
+# below can only sample these invariants, so violating any of them is a
+# build failure here.
 echo "==> dynalint ./..."
 go run ./cmd/dynalint ./...
+
+# Allow-budget gate: the committed baseline scripts/dynalint_allows.max
+# caps the number of //dynalint:allow exceptions in the tree. Growth
+# must be deliberate (raise the baseline in the same PR, with review of
+# the new reason); shrinkage is surfaced so the budget gets ratcheted
+# down.
+echo "==> dynalint allow budget"
+allow_budget=$(cat scripts/dynalint_allows.max)
+allow_count=$(go run ./cmd/dynalint -allows -json ./... | grep -c '"check"' || true)
+if [ "$allow_count" -gt "$allow_budget" ]; then
+  echo "dynalint: $allow_count allow directive(s) exceed the committed budget of $allow_budget" >&2
+  echo "  (inspect with: go run ./cmd/dynalint -allows ./... ; if the new exception is justified," >&2
+  echo "   raise scripts/dynalint_allows.max in the same change)" >&2
+  exit 1
+fi
+if [ "$allow_count" -lt "$allow_budget" ]; then
+  echo "dynalint: $allow_count allow directive(s), below the budget of $allow_budget — consider lowering scripts/dynalint_allows.max"
+else
+  echo "dynalint: $allow_count allow directive(s), at budget"
+fi
 
 echo "==> go test ./..."
 go test ./...
