@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dynaplat/internal/safety/update"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestSweepClean(t *testing.T) {
+	code, out, errb := runCmd(t, "-seeds", "15")
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if !strings.Contains(out, "15 seed(s) checked, 0 failing") {
+		t.Fatalf("unexpected summary: %q", out)
+	}
+}
+
+func TestReplaySingleSeed(t *testing.T) {
+	code, out, _ := runCmd(t, "-seed", "9", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	var rep struct {
+		Checked  int `json:"checked"`
+		Failures []any
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if rep.Checked != 1 || len(rep.Failures) != 0 {
+		t.Fatalf("want 1 clean seed, got %+v", rep)
+	}
+}
+
+// With a bug-zoo defect armed, the sweep must exit 1 and report a
+// shrunk spec for the failing seed. Seed 9 is an update-tier seed with
+// a bad image and an extra v2 interface (see testdata/fuzzcorpus), so
+// the ghost-service rollback leak trips deterministically.
+func TestSweepCatchesBugZoo(t *testing.T) {
+	update.BugRollbackReofferAll = true
+	defer func() { update.BugRollbackReofferAll = false }()
+	code, out, _ := runCmd(t, "-seed", "9")
+	if code != 1 {
+		t.Fatalf("want exit 1, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "rollback-identity") {
+		t.Fatalf("missing rollback-identity violation:\n%s", out)
+	}
+	if !strings.Contains(out, "shrunk spec") {
+		t.Fatalf("missing shrunk spec:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCmd(t, "-bogus"); code != 2 {
+		t.Fatalf("bad flag: want exit 2, got %d", code)
+	}
+	if code, _, _ := runCmd(t, "stray"); code != 2 {
+		t.Fatalf("stray arg: want exit 2, got %d", code)
+	}
+	if code, _, _ := runCmd(t, "-seeds", "0"); code != 2 {
+		t.Fatalf("zero seeds: want exit 2, got %d", code)
+	}
+}

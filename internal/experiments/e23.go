@@ -79,7 +79,8 @@ func runE23() *Table {
 		ID: "E23", Title: "Fleet-scale staged OTA rollout",
 		Source: "§3.2 (staged updates) scaled to a heterogeneous fleet with a cloud backend",
 		Columns: []string{"fault", "policy", "bad", "shipped", "rolled-back",
-			"skipped", "ship-rate", "post-avail", "waves", "halted"},
+			"skipped", "ship-rate", "post-avail", "waves",
+			"span-p50/p95/p99(ms)", "halted"},
 		Expectation: "a seeded bad update that bare rollout ships to 100% of the " +
 			"fleet is halted by the canary cohort under abort-on-regression " +
 			"(ship rate < 15%), every policy at a fault level faces the " +
@@ -112,10 +113,20 @@ func runE23() *Table {
 			if rep.Halted {
 				halted = fmt.Sprintf("wave%d", rep.HaltedWave)
 			}
+			// Worst wave by p95: the rollout scheduler's budget figure.
+			var worst fleet.WaveStats
+			for _, ws := range rep.Waves {
+				if ws.SpanP95 >= worst.SpanP95 {
+					worst = ws
+				}
+			}
+			spans := fmt.Sprintf("%.2f/%.2f/%.2f",
+				float64(worst.SpanP50)/1e6, float64(worst.SpanP95)/1e6,
+				float64(worst.SpanP99)/1e6)
 			t.AddRow(fmt.Sprintf("%.2f", prob), pol.name, itoa(int64(bad)),
 				itoa(int64(rep.Shipped)), itoa(int64(rolledBack)),
 				itoa(int64(rep.Skipped)), fmt.Sprintf("%.3f", rep.ShipRate()),
-				pct(postAvail), itoa(int64(len(rep.Waves))), halted)
+				pct(postAvail), itoa(int64(len(rep.Waves))), spans, halted)
 
 			// Identical fleet per level: the full-coverage policies must
 			// see the identical bad-image schedule.

@@ -293,6 +293,23 @@ func (c *Campaign) record(r Record) {
 // Injections counts scheduled activations.
 func (c *Campaign) Injections() int { return len(c.Schedule) }
 
+// QuiesceAt returns the instant by which every scheduled activation and
+// armed repair has fired (zero when the schedule is empty). Valid after
+// Start; quiesce audits (internal/fuzz) run the kernel past this point
+// before asserting that no campaign events remain live.
+func (c *Campaign) QuiesceAt() sim.Time {
+	var q sim.Time
+	for _, inj := range c.Schedule {
+		if inj.At > q {
+			q = inj.At
+		}
+		if inj.RepairAt > q {
+			q = inj.RepairAt
+		}
+	}
+	return q
+}
+
 // ActiveFaults returns how many targets are currently faulted.
 func (c *Campaign) ActiveFaults() int {
 	n := 0

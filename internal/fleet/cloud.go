@@ -70,8 +70,14 @@ type WaveStats struct {
 	MeanPre, MeanPost, Regression float64
 	// FailureRate is (RolledBack + Failed) / Vehicles.
 	FailureRate float64
-	// MaxSpan is the wave's longest OTA session.
+	// MaxSpan is the wave's longest OTA session; SpanP50/P95/P99 are the
+	// wave's session-length percentiles. Tail percentiles, not the mean,
+	// are what a rollout scheduler budgets by: one straggling vehicle
+	// stretches MaxSpan but only the p99 says whether it is an outlier.
 	MaxSpan sim.Duration
+	SpanP50 sim.Duration
+	SpanP95 sim.Duration
+	SpanP99 sim.Duration
 	// DeadLetters sums middleware teardown drops across the wave.
 	DeadLetters int64
 	// Breached marks the wave that tripped the abort budgets.
@@ -116,9 +122,12 @@ func (r *FleetReport) Render(w io.Writer) {
 			status = "BREACH"
 		}
 		fmt.Fprintf(w,
-			"wave %d: vehicles=%d shipped=%d rolled-back=%d failed=%d fail-rate=%.3f pre=%.1f%% post=%.1f%% regr=%+.3f max-span=%.2fms dead=%d %s\n",
+			"wave %d: vehicles=%d shipped=%d rolled-back=%d failed=%d fail-rate=%.3f pre=%.1f%% post=%.1f%% regr=%+.3f span-p50/p95/p99/max=%.2f/%.2f/%.2f/%.2fms dead=%d %s\n",
 			ws.Wave, ws.Vehicles, ws.Shipped, ws.RolledBack, ws.Failed,
 			ws.FailureRate, ws.MeanPre*100, ws.MeanPost*100, ws.Regression,
+			float64(ws.SpanP50)/float64(sim.Millisecond),
+			float64(ws.SpanP95)/float64(sim.Millisecond),
+			float64(ws.SpanP99)/float64(sim.Millisecond),
 			float64(ws.MaxSpan)/float64(sim.Millisecond), ws.DeadLetters, status)
 	}
 	if r.Halted {
@@ -185,6 +194,7 @@ func RunCampaign(cfg CampaignConfig) (*FleetReport, error) {
 			return nil, err
 		}
 		ws := WaveStats{Wave: wi, Vehicles: size}
+		var spans sim.Sample
 		for _, v := range reports {
 			switch v.Outcome {
 			case OutcomeShipped:
@@ -197,10 +207,14 @@ func RunCampaign(cfg CampaignConfig) (*FleetReport, error) {
 			ws.MeanPre += v.PreAvail
 			ws.MeanPost += v.PostAvail
 			ws.DeadLetters += v.DeadLetters
+			spans.AddDuration(v.UpdateSpan)
 			if v.UpdateSpan > ws.MaxSpan {
 				ws.MaxSpan = v.UpdateSpan
 			}
 		}
+		ws.SpanP50 = spans.PercentileDuration(50)
+		ws.SpanP95 = spans.PercentileDuration(95)
+		ws.SpanP99 = spans.PercentileDuration(99)
 		ws.MeanPre /= float64(size)
 		ws.MeanPost /= float64(size)
 		ws.Regression = ws.MeanPre - ws.MeanPost

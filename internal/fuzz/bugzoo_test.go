@@ -1,0 +1,99 @@
+package fuzz
+
+import (
+	"testing"
+
+	"dynaplat/internal/safety/update"
+	"dynaplat/internal/soa"
+)
+
+// The oracle must catch the ghost-service rollback leak (the defect
+// StagedVerified originally shipped with, reintroducible via
+// update.BugRollbackReofferAll): a failing update whose v2 introduced a
+// new interface re-offers that interface onto the v1 provider during
+// rollback, so post-rollback service state differs from the pre-update
+// capture. Detection is deterministic — any update-tier seed with a bad
+// image and an extra v2 interface trips property 6 on its first run.
+func TestOracleCatchesRollbackReofferAll(t *testing.T) {
+	var eligible []uint64
+	for seed := uint64(1); seed <= 500 && len(eligible) < 3; seed++ {
+		sp := Generate(seed)
+		if sp.Update != nil && sp.Update.Bad && sp.Update.ExtraIface {
+			eligible = append(eligible, seed)
+		}
+	}
+	if len(eligible) == 0 {
+		t.Fatal("no eligible update seed in 1..500 — generator distribution changed?")
+	}
+
+	for _, seed := range eligible {
+		if CheckSeed(seed).Failed() {
+			t.Fatalf("seed %d: oracle fails with the bug flag off", seed)
+		}
+	}
+
+	update.BugRollbackReofferAll = true
+	defer func() { update.BugRollbackReofferAll = false }()
+	for _, seed := range eligible {
+		rep := CheckSeed(seed)
+		found := false
+		for _, v := range rep.Violations {
+			if v.Property == PropRollback {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("seed %d: ghost-service rollback leak not caught: %+v",
+				seed, rep.Violations)
+		}
+	}
+}
+
+// The oracle must catch the unsorted-migration attach order (the map-
+// iteration defect Endpoint.Migrate originally shipped with,
+// reintroducible via soa.BugUnsortedMigrateAttach): a dual-homed
+// endpoint migrating to a fresh station attaches it to its networks in
+// map-iteration order, which differs between runs of the same seed —
+// property 1 (re-run identity) trips on the attach-order trace. Each
+// re-run comparison catches an eligible seed with probability 1/2 per
+// two-network migration; across the oracle's three fingerprint
+// comparisons and a handful of eligible seeds the miss probability is
+// negligible (< 1e-6).
+func TestOracleCatchesUnsortedMigrateAttach(t *testing.T) {
+	var eligible []uint64
+	for seed := uint64(1); seed <= 2000 && len(eligible) < 8; seed++ {
+		sp := Generate(seed)
+		if sp.Aux == nil || len(sp.Migrations) == 0 {
+			continue
+		}
+		dual := map[string]bool{}
+		for _, p := range sp.Pubs {
+			if p.AuxIface != "" {
+				dual[p.App] = true
+			}
+		}
+		for _, m := range sp.Migrations {
+			if dual[m.App] {
+				eligible = append(eligible, seed)
+				break
+			}
+		}
+	}
+	if len(eligible) == 0 {
+		t.Fatal("no dual-homed migration seed in 1..2000 — generator distribution changed?")
+	}
+
+	soa.BugUnsortedMigrateAttach = true
+	defer func() { soa.BugUnsortedMigrateAttach = false }()
+	for _, seed := range eligible {
+		rep := CheckSeed(seed)
+		for _, v := range rep.Violations {
+			if v.Property == PropRerun || v.Property == PropBackend ||
+				v.Property == PropObsNeutral {
+				return // caught
+			}
+		}
+	}
+	t.Errorf("unsorted migrate attach not caught across %d eligible seeds %v",
+		len(eligible), eligible)
+}

@@ -1,0 +1,93 @@
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Report is the oracle's verdict on one scenario. Violations is empty
+// for a healthy spec; every entry reproduces from (Version, Spec.Seed)
+// alone via Generate + Check.
+type Report struct {
+	Spec        Spec        `json:"spec"`
+	Violations  []Violation `json:"violations,omitempty"`
+	Fingerprint string      `json:"-"`
+}
+
+// Failed reports whether any property was violated.
+func (r Report) Failed() bool { return len(r.Violations) > 0 }
+
+// Check runs a spec through the universal-property oracle:
+//
+//  1. rerun-identity        — two plain runs fingerprint byte-identically
+//  2. backend-differential  — wheel and heap-only kernels agree
+//  3. observation-neutrality — a fully observed run matches the plain
+//     fingerprint, and two observed runs emit byte-identical trace and
+//     metrics artifacts
+//  4. conservation          — checked inside each run (mesh accounts)
+//  5. quiesce               — checked inside each run (leaked timers)
+//  6. rollback-identity     — checked inside each run (update/reconfig)
+//
+// Five executions total; in-run violations are taken from the first
+// plain run only (re-runs would report duplicates of the same breach).
+func Check(sp Spec) Report {
+	rep := Report{Spec: sp}
+	base := runScenario(sp, runOpts{})
+	rep.Fingerprint = base.fingerprint
+	rep.Violations = append(rep.Violations, base.violations...)
+
+	again := runScenario(sp, runOpts{})
+	if again.fingerprint != base.fingerprint {
+		rep.Violations = append(rep.Violations, Violation{
+			Property: PropRerun,
+			Detail: "two runs of the same spec diverge: " +
+				firstDiff(base.fingerprint, again.fingerprint),
+		})
+	}
+	heap := runScenario(sp, runOpts{heapOnly: true})
+	if heap.fingerprint != base.fingerprint {
+		rep.Violations = append(rep.Violations, Violation{
+			Property: PropBackend,
+			Detail: "timing-wheel and heap-only kernels diverge: " +
+				firstDiff(base.fingerprint, heap.fingerprint),
+		})
+	}
+	obs1 := runScenario(sp, runOpts{observe: true})
+	if obs1.fingerprint != base.fingerprint {
+		rep.Violations = append(rep.Violations, Violation{
+			Property: PropObsNeutral,
+			Detail: "observed run diverges from plain run: " +
+				firstDiff(base.fingerprint, obs1.fingerprint),
+		})
+	}
+	obs2 := runScenario(sp, runOpts{observe: true})
+	if !bytes.Equal(obs1.trace, obs2.trace) {
+		rep.Violations = append(rep.Violations, Violation{
+			Property: PropObsNeutral,
+			Detail:   "chrome-trace artifacts differ between two observed runs",
+		})
+	}
+	if !bytes.Equal(obs1.metrics, obs2.metrics) {
+		rep.Violations = append(rep.Violations, Violation{
+			Property: PropObsNeutral,
+			Detail: "metrics artifacts differ between two observed runs: " +
+				firstDiff(string(obs1.metrics), string(obs2.metrics)),
+		})
+	}
+	return rep
+}
+
+// CheckSeed generates and checks the scenario for one seed.
+func CheckSeed(seed uint64) Report { return Check(Generate(seed)) }
+
+// firstDiff locates the first line where two fingerprints disagree.
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(la), len(lb))
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dynaplat/internal/can"
+	"dynaplat/internal/faults"
 	"dynaplat/internal/network"
 	"dynaplat/internal/sim"
 	"dynaplat/internal/tsn"
@@ -158,5 +159,87 @@ func TestBidirectionalRoundTrip(t *testing.T) {
 	}
 	if r.gw.Forwarded != 2 {
 		t.Errorf("forwarded = %d", r.gw.Forwarded)
+	}
+}
+
+// The gateway composed with the frame-fault layer (E18 under faults):
+// both sides of the bridge are wrapped in faults.WrapNetwork, the CAN
+// side suffers injected loss plus a partition window on the sending
+// station, the Ethernet side suffers its own loss — and every frame is
+// accounted for exactly once across the whole chain:
+//
+//	sends = blocked(partition) + dropped(body) + dropped(gateway queue)
+//	      + dropped(backbone) + delivered
+func TestGatewayFaultComposition(t *testing.T) {
+	k := sim.NewKernel(7)
+	body := faults.WrapNetwork(k,
+		can.New(k, can.Config{Name: "body", BitsPerSecond: 500_000}),
+		faults.NetConfig{LossRate: 0.25})
+	backbone := faults.WrapNetwork(k,
+		tsn.New(k, tsn.DefaultConfig("backbone")),
+		faults.NetConfig{LossRate: 0.10})
+	gw := New(k, Config{Name: "gw", ProcDelay: 50 * sim.Microsecond})
+	gw.AttachPort(body, can.MaxPayload)
+	gw.AttachPort(backbone, 1400)
+	if err := gw.AddRoute(Route{FromNet: "body", ToNet: "backbone",
+		ID: 0x100, Dst: "head"}); err != nil {
+		t.Fatal(err)
+	}
+
+	body.Attach("sensor", func(network.Delivery) {})
+	var received int64
+	backbone.Attach("head", func(network.Delivery) { received++ })
+
+	const sends = 400
+	sent := 0
+	var tick func()
+	tick = func() {
+		if sent >= sends {
+			return
+		}
+		sent++
+		body.Send(network.Message{ID: 0x100, Src: "sensor", Dst: "gw",
+			Bytes: 8, Payload: "v"})
+		k.After(2*sim.Millisecond, tick)
+	}
+	k.At(0, tick)
+	// A partition window on the sender mid-run: its frames are contained
+	// at the fault layer, never reaching the bridge.
+	k.At(sim.Time(200*sim.Millisecond), func() { body.Partition("sensor") })
+	k.At(sim.Time(300*sim.Millisecond), func() { body.Heal("sensor") })
+	k.Run()
+
+	if body.FramesBlocked == 0 {
+		t.Error("partition window blocked no frames")
+	}
+	if body.FramesDropped == 0 || backbone.FramesDropped == 0 {
+		t.Errorf("expected injected loss on both sides, got body=%d backbone=%d",
+			body.FramesDropped, backbone.FramesDropped)
+	}
+	// CAN-side account: every send was blocked, dropped, or reached the bus.
+	if got := body.FramesBlocked + body.FramesDropped + body.Passed; got != sends {
+		t.Errorf("body side leaks frames: blocked=%d dropped=%d passed=%d, sum=%d want %d",
+			body.FramesBlocked, body.FramesDropped, body.Passed, got, sends)
+	}
+	// Bridge account: the gateway saw exactly the frames the CAN side
+	// passed, and forwarded or queue-dropped each one.
+	if gw.Forwarded+gw.Dropped != body.Passed {
+		t.Errorf("gateway account open: forwarded=%d dropped=%d, body passed=%d",
+			gw.Forwarded, gw.Dropped, body.Passed)
+	}
+	// Ethernet-side account: one segment per forwarded message (8 bytes
+	// fits one Ethernet frame), each passed or dropped.
+	if backbone.Passed+backbone.FramesDropped != gw.Forwarded {
+		t.Errorf("backbone account open: passed=%d dropped=%d, forwarded=%d",
+			backbone.Passed, backbone.FramesDropped, gw.Forwarded)
+	}
+	if received != backbone.Passed {
+		t.Errorf("delivered %d, backbone passed %d", received, backbone.Passed)
+	}
+	// Whole-chain closure.
+	total := body.FramesBlocked + body.FramesDropped + gw.Dropped +
+		backbone.FramesDropped + received
+	if total != sends {
+		t.Errorf("chain account open: %d of %d frames accounted", total, sends)
 	}
 }

@@ -86,6 +86,9 @@ func (m *Manager) StagedVerified(logical string, newSpec model.App, b platform.B
 			ep := m.mw.Endpoint(oldName, node.ECU().Name)
 			for _, o := range offers {
 				ver, existed := preOffered[o.Iface]
+				if BugRollbackReofferAll {
+					existed = true
+				}
 				if !existed {
 					continue
 				}

@@ -1,0 +1,13 @@
+package soa
+
+// Bug zoo: historical defects reintroducible behind test-only flags, so
+// the scenario fuzzer's oracle (internal/fuzz) can prove it would have
+// caught them. The flags default to off and must only ever be set by
+// tests — production code paths never read true here.
+
+// BugUnsortedMigrateAttach, when true, makes Endpoint.Migrate attach the
+// destination station to the endpoint's networks in raw map-iteration
+// order instead of sorted order — the exact shape of the defect fixed
+// when Migrate was introduced: attach order is visible in delivery
+// dispatch and trace output, so two runs of the same seed diverge.
+var BugUnsortedMigrateAttach bool

@@ -87,6 +87,12 @@ type Middleware struct {
 	DeadLetters int64
 
 	attachedStations map[string]bool
+	// attachOrder records every station attachment as "net/ecu" in the
+	// order ensureAttached performed it. Attach order is visible in
+	// delivery dispatch and trace output, so differential oracles
+	// (internal/fuzz) fingerprint it through AttachOrder to catch
+	// iteration-order regressions mechanically.
+	attachOrder []string
 
 	// ecuDown marks ECUs silenced by a fault (crash/hang/reboot): their
 	// providers stop answering service discovery until repair (see
@@ -347,6 +353,27 @@ func (m *Middleware) Services() []string {
 	return out
 }
 
+// AttachOrder returns the station-attachment history ("net/ecu" per
+// entry) in the order the attachments happened. The sequence is part of
+// the externally visible behavior — it decides receiver registration
+// order on every bus — so it must be a pure function of the scenario;
+// internal/fuzz folds it into the run fingerprint.
+func (m *Middleware) AttachOrder() []string {
+	return append([]string(nil), m.attachOrder...)
+}
+
+// Endpoints returns the sorted names of all registered endpoints, so
+// teardown code (quiesce audits) can remove every endpoint without
+// tracking them separately.
+func (m *Middleware) Endpoints() []string {
+	out := make([]string, 0, len(m.eps))
+	for n := range m.eps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ServiceLatency returns the latency sample recorded for an interface.
 func (m *Middleware) ServiceLatency(iface string) *sim.Sample {
 	if svc, ok := m.svcs[iface]; ok {
@@ -388,7 +415,9 @@ func (e *Endpoint) Migrate(ecu string) {
 			nets = append(nets, svc.netName)
 		}
 	}
-	sort.Strings(nets)
+	if !BugUnsortedMigrateAttach {
+		sort.Strings(nets)
+	}
 	for _, name := range nets {
 		e.m.ensureAttached(e.m.nets[name], ecu)
 	}
@@ -798,6 +827,7 @@ func (m *Middleware) ensureAttached(ni *netInfo, ecu string) {
 		return
 	}
 	m.attachedStations[key] = true
+	m.attachOrder = append(m.attachOrder, key)
 	ni.net.Attach(ecu, func(d network.Delivery) {
 		if m.handleSD(ecu, d) {
 			return

@@ -107,4 +107,15 @@ go test -run 'TestVehicleSeedIndependence|TestCampaignShardedByteIdentical' ./in
 echo "==> observed-trace determinism soak (x2)"
 go test -run TestObservedArtifactsByteIdentical -count=2 ./internal/experiments/
 
+# Scenario-fuzz gate: 200 seeded scenarios through the universal-property
+# oracle (internal/fuzz, DESIGN.md §12) — re-run identity, wheel-vs-heap
+# kernel differential, observation neutrality, mesh conservation,
+# quiesce, rollback byte-identity. A failure prints a shrunk minimal
+# spec and reproduces from (generator version, seed) alone. The corpus
+# replay pins the tier-coverage seeds in testdata/fuzzcorpus.
+echo "==> scenario-fuzz gate (dynafuzz -seeds 200)"
+go run ./cmd/dynafuzz -seeds 200
+echo "==> fuzz corpus replay"
+go test -run TestCorpusReplay -count=1 ./internal/fuzz/
+
 echo "verify.sh: all green"
